@@ -1,0 +1,371 @@
+(* xmlest: command-line interface to the answer-size estimation library.
+
+   Subcommands:
+   - generate:      write one of the synthetic data sets as an XML file
+   - stats:         per-tag statistics (count, depth, overlap) of a file
+   - build-summary: build histograms over a file and save them to disk
+   - estimate:      estimate a twig query (from a file or a saved summary)
+   - plan:          rank the left-deep join plans of a query by estimated cost *)
+
+open Xmlest_core
+open Cmdliner
+
+let read_document path =
+  match Xmlest.Xml_parser.parse_file path with
+  | Ok elem -> Xmlest.Document.of_elem elem
+  | Error e ->
+    Format.eprintf "%a@." Xmlest.Xml_parser.pp_error e;
+    exit 1
+
+(* Default predicate set for a document: one tag predicate per distinct
+   element tag. *)
+let tag_predicates doc =
+  List.filter_map
+    (fun tag -> if tag = "#root" then None else Some (Xmlest.Predicate.tag tag))
+    (Xmlest.Document.distinct_tags doc)
+
+let parse_query q =
+  match Xmlest.Pattern_parser.parse q with
+  | Ok parsed -> parsed.Xmlest.Pattern_parser.root
+  | Error msg ->
+    Format.eprintf "%s@." msg;
+    exit 1
+
+(* --- generate ---------------------------------------------------------- *)
+
+let generate_cmd =
+  let dataset =
+    let doc = "Data set to generate: dblp, staff, xmark, shakespeare or treebank." in
+    Arg.(required & pos 0 (some (enum
+      [ ("dblp", `Dblp); ("staff", `Staff); ("xmark", `Xmark);
+        ("shakespeare", `Shakespeare); ("treebank", `Treebank) ])) None
+      & info [] ~docv:"DATASET" ~doc)
+  in
+  let scale =
+    Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"S" ~doc:"Size multiplier.")
+  in
+  let seed =
+    Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
+  in
+  let output =
+    Arg.(value & opt string "-" & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Output file ('-' for stdout).")
+  in
+  let run dataset scale seed output =
+    let elem =
+      match dataset with
+      | `Dblp -> Xmlest.Dblp_gen.generate_scaled ?seed scale
+      | `Staff -> Xmlest.Staff_gen.generate ?seed ~scale ()
+      | `Xmark -> Xmlest.Xmark_gen.generate ?seed ~scale ()
+      | `Shakespeare ->
+        Xmlest.Shakespeare_gen.generate ?seed
+          ~acts:(max 1 (int_of_float (5.0 *. scale)))
+          ()
+      | `Treebank ->
+        Xmlest.Treebank_gen.generate ?seed
+          ~sentences:(max 1 (int_of_float (200.0 *. scale)))
+          ()
+    in
+    if output = "-" then print_string (Xmlest.Xml_writer.to_string elem)
+    else begin
+      Xmlest.Xml_writer.to_file output elem;
+      Printf.printf "wrote %s (%d elements)\n" output (Xmlest.Elem.size elem)
+    end
+  in
+  let info =
+    Cmd.info "generate" ~doc:"Generate a synthetic XML data set."
+  in
+  Cmd.v info Term.(const run $ dataset $ scale $ seed $ output)
+
+(* --- stats ------------------------------------------------------------- *)
+
+let stats_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"XML document to analyze.")
+  in
+  let run file =
+    let doc = read_document file in
+    Printf.printf "%s: %d element nodes, max position %d\n\n" file
+      (Xmlest.Document.size doc) (Xmlest.Document.max_pos doc);
+    Xmlest.Doc_stats.pp_table Format.std_formatter (Xmlest.Doc_stats.tag_stats doc)
+  in
+  let info = Cmd.info "stats" ~doc:"Per-tag statistics of an XML document." in
+  Cmd.v info Term.(const run $ file)
+
+(* --- build-summary ------------------------------------------------------ *)
+
+let grid_arg =
+  Arg.(value & opt int 10 & info [ "grid" ] ~docv:"G"
+         ~doc:"Histogram grid size (the paper uses 10).")
+
+let equidepth_arg =
+  Arg.(value & flag & info [ "equidepth" ]
+         ~doc:"Place bucket boundaries at quantiles of the summarized \
+               predicates' positions instead of uniformly.")
+
+let content_arg =
+  Arg.(value & flag & info [ "content-predicates" ]
+         ~doc:"Also build histograms for frequent element-content values \
+               and prefixes (Sec. 3.4's end-biased predicate selection).")
+
+let build_summary doc ~grid ~equidepth ~content preds =
+  let preds = if content then Xmlest.Advisor.suggest doc else preds in
+  let grid_kind = if equidepth then `Equidepth else `Uniform in
+  try Xmlest.Summary.build ~grid_size:grid ~grid_kind doc preds
+  with Invalid_argument msg ->
+    Printf.eprintf "%s\n" msg;
+    exit 1
+
+let build_summary_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"XML document.")
+  in
+  let output =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT"
+           ~doc:"Where to write the summary.")
+  in
+  let run file grid equidepth content output =
+    let doc = read_document file in
+    let summary = build_summary doc ~grid ~equidepth ~content (tag_predicates doc) in
+    Xmlest.Summary.save summary output;
+    Printf.printf "wrote %s: %d predicates, %d bytes of histograms (file %d bytes)\n"
+      output
+      (List.length (Xmlest.Summary.predicates summary))
+      (Xmlest.Summary.storage_bytes summary)
+      (try (Unix.stat output).Unix.st_size with _ -> 0)
+  in
+  let info =
+    Cmd.info "build-summary"
+      ~doc:"Build position/coverage histograms over a document and save them."
+  in
+  Cmd.v info
+    Term.(const run $ file $ grid_arg $ equidepth_arg $ content_arg $ output)
+
+(* --- estimate ---------------------------------------------------------- *)
+
+let estimate_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"XML document, or a saved summary with --summary.")
+  in
+  let from_summary =
+    Arg.(value & flag & info [ "summary" ]
+           ~doc:"Treat FILE as a summary saved by build-summary instead of \
+                 an XML document (no document access; --exact unavailable).")
+  in
+  let query =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY"
+           ~doc:"Twig query, e.g. '//article//author' or \
+                 '//faculty[.//TA][.//RA]'.")
+  in
+  let exact =
+    Arg.(value & flag & info [ "exact" ]
+           ~doc:"Also compute the exact answer size and the ratio.")
+  in
+  let no_coverage =
+    Arg.(value & flag & info [ "no-coverage" ]
+           ~doc:"Disable the no-overlap (coverage histogram) estimator; use \
+                 only the primitive pH-join.")
+  in
+  let explain =
+    Arg.(value & flag & info [ "explain" ]
+           ~doc:"Print the join-by-join estimation trace.")
+  in
+  let run file from_summary query grid equidepth exact no_coverage explain =
+    let pattern = parse_query query in
+    let summary, doc =
+      if from_summary then begin
+        match Xmlest.Summary.load file with
+        | Ok s -> (s, None)
+        | Error e ->
+          Printf.eprintf "cannot load summary %s: %s\n" file e;
+          exit 1
+      end
+      else begin
+        let doc = read_document file in
+        (build_summary doc ~grid ~equidepth ~content:false (tag_predicates doc),
+         Some doc)
+      end
+    in
+    let options =
+      { Xmlest.Twig_estimator.default_options with use_no_overlap = not no_coverage }
+    in
+    let est = Xmlest.Summary.estimate ~options summary pattern in
+    Printf.printf "estimate: %.1f\n" est;
+    if explain then begin
+      let _, steps = Xmlest.Summary.explain ~options summary pattern in
+      List.iter
+        (fun s ->
+          Printf.printf "  %-45s %-16s ~%.1f\n"
+            s.Xmlest.Twig_estimator.subtwig s.Xmlest.Twig_estimator.method_used
+            s.Xmlest.Twig_estimator.estimate)
+        steps
+    end;
+    Printf.printf "summary storage: %d bytes (grid %d)\n"
+      (Xmlest.Summary.storage_bytes summary)
+      (Xmlest.Summary.grid summary).Xmlest.Grid.size;
+    match (exact, doc) with
+    | true, Some doc ->
+      let real = Xmlest.Twig_count.count doc pattern in
+      Printf.printf "exact:    %d\n" real;
+      if real > 0 then Printf.printf "ratio:    %.3f\n" (est /. float_of_int real)
+    | true, None ->
+      Printf.eprintf "--exact requires the XML document, not a summary\n";
+      exit 1
+    | false, _ -> ()
+  in
+  let info =
+    Cmd.info "estimate"
+      ~doc:"Estimate the answer size of a twig query over an XML document \
+            or a saved summary."
+  in
+  Cmd.v info
+    Term.(const run $ file $ from_summary $ query $ grid_arg $ equidepth_arg
+          $ exact $ no_coverage $ explain)
+
+(* --- plan -------------------------------------------------------------- *)
+
+let plan_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"XML document.")
+  in
+  let query =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY"
+           ~doc:"Twig query with at least two nodes.")
+  in
+  let actual =
+    Arg.(value & flag & info [ "actual" ]
+           ~doc:"Also evaluate the true cost of every plan (slow on large \
+                 documents).")
+  in
+  let run file query grid actual =
+    let doc = read_document file in
+    let pattern = parse_query query in
+    let summary = Xmlest.Summary.build ~grid_size:grid doc (tag_predicates doc) in
+    let ranked = Xmlest.Optimizer.rank (Xmlest.Summary.catalog summary) pattern in
+    if ranked = [] then begin
+      Printf.eprintf "query has no join plans (single-node pattern?)\n";
+      exit 1
+    end;
+    Printf.printf "%-24s %14s%s\n" "plan (node order)" "est. cost"
+      (if actual then "    actual cost" else "");
+    List.iter
+      (fun c ->
+        Printf.printf "%-24s %14.1f%s\n"
+          (Format.asprintf "%a" Xmlest.Plan.pp c.Xmlest.Optimizer.plan)
+          c.Xmlest.Optimizer.cost
+          (if actual then
+             Printf.sprintf "    %d"
+               (Xmlest.Optimizer.actual_cost doc c.Xmlest.Optimizer.plan)
+           else ""))
+      ranked
+  in
+  let info =
+    Cmd.info "plan" ~doc:"Rank join plans of a twig query by estimated cost."
+  in
+  Cmd.v info Term.(const run $ file $ query $ grid_arg $ actual)
+
+(* --- query --------------------------------------------------------------- *)
+
+let query_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"XML document.")
+  in
+  let query =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY"
+           ~doc:"Twig query to evaluate.")
+  in
+  let limit =
+    Arg.(value & opt int 10 & info [ "limit" ] ~docv:"N"
+           ~doc:"Print at most N matches (0 = count only).")
+  in
+  let run file query grid limit =
+    let doc = read_document file in
+    let pattern = parse_query query in
+    (* Pick the join order with the optimizer when there is a choice. *)
+    let order =
+      if Xmlest.Pattern.edge_count pattern = 0 then [ 0 ]
+      else begin
+        let summary =
+          Xmlest.Summary.build ~grid_size:grid ~with_levels:false doc
+            (tag_predicates doc)
+        in
+        (Xmlest.Optimizer.best (Xmlest.Summary.catalog summary) pattern)
+          .Xmlest.Optimizer.plan
+          .Xmlest.Plan.order
+      end
+    in
+    let result = Xmlest.Executor.run doc pattern ~order in
+    let total = List.length result.Xmlest.Executor.rows in
+    Printf.printf "%d matches (plan %s)\n" total
+      (String.concat ";" (List.map string_of_int order));
+    if limit > 0 then begin
+      let shown = ref 0 in
+      List.iter
+        (fun row ->
+          if !shown < limit then begin
+            incr shown;
+            let cells =
+              List.map2
+                (fun col node ->
+                  Printf.sprintf "%s=%s@%d"
+                    (Xmlest.Predicate.name (Xmlest.Plan.node_predicate pattern col))
+                    (Xmlest.Document.tag doc node)
+                    (Xmlest.Document.start_pos doc node))
+                result.Xmlest.Executor.columns (Array.to_list row)
+            in
+            Printf.printf "  %s\n" (String.concat "  " cells)
+          end)
+        result.Xmlest.Executor.rows;
+      if total > limit then Printf.printf "  ... %d more\n" (total - limit)
+    end
+  in
+  let info =
+    Cmd.info "query"
+      ~doc:"Evaluate a twig query: pick a plan by estimated cost and \
+            materialize the matches."
+  in
+  Cmd.v info Term.(const run $ file $ query $ grid_arg $ limit)
+
+(* --- shell ----------------------------------------------------------------- *)
+
+let shell_cmd =
+  let file =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Optional XML document to load on startup.")
+  in
+  let run file =
+    let state = Xmlest.Repl.create () in
+    (match file with
+    | Some path -> print_endline (Xmlest.Repl.execute state ("load " ^ path))
+    | None -> ());
+    print_endline "xmlest shell; 'help' lists commands, ctrl-D quits";
+    let rec loop () =
+      print_string "xmlest> ";
+      match read_line () with
+      | exception End_of_file -> print_newline ()
+      | "quit" | "exit" -> ()
+      | line ->
+        let out = Xmlest.Repl.execute state line in
+        if out <> "" then print_endline out;
+        loop ()
+    in
+    loop ()
+  in
+  let info = Cmd.info "shell" ~doc:"Interactive console over the library." in
+  Cmd.v info Term.(const run $ file)
+
+(* ----------------------------------------------------------------------- *)
+
+let main_cmd =
+  let doc = "XML answer-size estimation with position histograms (EDBT 2002)" in
+  let info = Cmd.info "xmlest" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [ generate_cmd; stats_cmd; build_summary_cmd; estimate_cmd; plan_cmd;
+      query_cmd; shell_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,57 @@
+(* Result-size feedback for interactive query refinement (Sec. 1).
+
+   The paper's second use case: before running a query, tell the user how
+   many answers to expect, so they can refine an over-broad query instead
+   of waiting for (and paging through) a huge result.
+
+   This demo plays a short "session" over the simulated DBLP bibliography:
+   each query is first estimated from the summary (microseconds); only when
+   the user "accepts" the predicted size is the exact answer computed.
+
+   Run with: dune exec examples/query_feedback.exe *)
+
+open Xmlest_core
+
+let () =
+  let doc = Xmlest.Document.of_elem (Xmlest.Dblp_gen.generate_scaled 0.25) in
+  (* Let the advisor pick the base predicate set: every tag, plus frequent
+     content values and prefixes (it finds the "conf"/"journal" cite
+     prefixes and the year values on its own). *)
+  let predicates = Xmlest.Advisor.suggest doc in
+  let summary = Xmlest.Summary.build ~grid_size:10 doc predicates in
+  Printf.printf "bibliography: %d nodes; summary: %d bytes\n\n"
+    (Xmlest.Document.size doc)
+    (Xmlest.Summary.storage_bytes summary);
+
+  (* The user starts broad and narrows until the prediction looks
+     manageable; a threshold stands in for their judgement. *)
+  let session =
+    [
+      "//article//author";
+      "//article[.//cite]//author";
+      "//article[.//cite[starts-with(text(),'conf')]]//author";
+    ]
+  in
+  let threshold = 1500.0 in
+  let rec play = function
+    | [] -> Printf.printf "no acceptable refinement found\n"
+    | query :: rest ->
+      let t0 = Sys.time () in
+      let predicted = Xmlest.Summary.estimate_string summary query in
+      let dt = (Sys.time () -. t0) *. 1e6 in
+      Printf.printf "%-55s ~%7.0f answers (predicted in %.0fus)\n" query predicted dt;
+      if predicted > threshold && rest <> [] then begin
+        Printf.printf "  -> too many to page through; refining...\n";
+        play rest
+      end
+      else begin
+        let exact =
+          Xmlest.Twig_count.count doc (Xmlest.Pattern_parser.pattern_exn query)
+        in
+        Printf.printf "  -> accepted; actual answer size: %d (prediction off by %.0f%%)\n"
+          exact
+          (100.0 *. Float.abs (predicted -. float_of_int exact)
+          /. Float.max 1.0 (float_of_int exact))
+      end
+  in
+  play session

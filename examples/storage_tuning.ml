@@ -1,0 +1,58 @@
+(* Choosing the histogram grid size (the Figs. 11/12 trade-off as a tool).
+
+   The estimates get better as the grid grows, but so does the summary.
+   This demo sweeps grid sizes over a workload of queries and reports, per
+   size, the total summary storage and the worst relative error — then
+   picks the smallest grid whose worst error is below a target, which is
+   how a DBA (or TIMBER itself) would tune the statistics.
+
+   Run with: dune exec examples/storage_tuning.exe *)
+
+open Xmlest_core
+
+let workload = [ "//manager//employee"; "//department//email"; "//manager//department" ]
+
+let () =
+  let doc = Xmlest.Document.of_elem (Xmlest.Staff_gen.generate ()) in
+  let predicates =
+    List.map Xmlest.Predicate.tag
+      [ "manager"; "department"; "employee"; "email"; "name" ]
+  in
+  let patterns = List.map Xmlest.Pattern_parser.pattern_exn workload in
+  let exact =
+    List.map (fun p -> float_of_int (Xmlest.Twig_count.count doc p)) patterns
+  in
+
+  Printf.printf "workload: %s\n\n" (String.concat ", " workload);
+  Printf.printf "%6s %12s %14s\n" "grid" "bytes" "worst error";
+  let target = 0.30 in
+  let chosen = ref None in
+  List.iter
+    (fun grid_size ->
+      let summary =
+        Xmlest.Summary.build ~grid_size ~with_levels:false doc predicates
+      in
+      let worst =
+        List.fold_left2
+          (fun acc pattern real ->
+            let est = Xmlest.Summary.estimate summary pattern in
+            Float.max acc (Float.abs (est -. real) /. Float.max 1.0 real))
+          0.0 patterns exact
+      in
+      let bytes = Xmlest.Summary.storage_bytes summary in
+      Printf.printf "%6d %12d %13.0f%%\n" grid_size bytes (100.0 *. worst);
+      if worst <= target && !chosen = None then chosen := Some (grid_size, bytes))
+    [ 2; 4; 6; 8; 10; 15; 20; 30; 40; 50 ];
+
+  (match !chosen with
+  | Some (g, bytes) ->
+    Printf.printf
+      "\nsmallest grid meeting the %.0f%% worst-error target: %d (%d bytes)\n"
+      (100.0 *. target) g bytes
+  | None -> Printf.printf "\nno grid met the %.0f%% target\n" (100.0 *. target));
+  Printf.printf
+    "(document itself is ~%d bytes serialized; the summary is a tiny fraction)\n"
+    (String.length
+       (Xmlest.Xml_writer.to_string
+          (Xmlest.Xml_parser.parse_string_exn
+             (Xmlest.Xml_writer.to_string (Xmlest.Staff_gen.generate ())))))

@@ -1,0 +1,234 @@
+open Xmlest_xmldb
+open Xmlest_query
+open Xmlest_engine
+open Xmlest_optimizer
+
+type state = {
+  mutable doc : Document.t option;
+  mutable summary : Summary.t option;
+}
+
+let create () = { doc = None; summary = None }
+
+let help =
+  String.concat "\n"
+    [
+      "commands:";
+      "  gen <dblp|staff|xmark|shakespeare|treebank> [scale]   generate a data set";
+      "  load <file.xml>                load an XML document";
+      "  stats                          per-tag statistics of the document";
+      "  summarize [grid] [equidepth]   build histograms (default grid 10)";
+      "  estimate <query>               estimate a twig query's answer size";
+      "  explain <query>                estimate with a join-by-join trace";
+      "  exact <query>                  exact answer size (counting engine)";
+      "  plan <query>                   rank join orders by estimated cost";
+      "  run <query> [limit]            execute the best plan, show matches";
+      "  hist <tag>                     ASCII heatmap of a tag's position histogram";
+      "  save-summary <file>            persist the summary";
+      "  load-summary <file>            load a persisted summary";
+      "  help                           this text";
+    ]
+
+let tag_predicates doc =
+  List.filter_map
+    (fun tag -> if tag = "#root" then None else Some (Predicate.tag tag))
+    (Document.distinct_tags doc)
+
+(* All commands funnel through these accessors so missing-state errors are
+   uniform. *)
+exception Reply of string
+
+let reply fmt = Printf.ksprintf (fun s -> raise (Reply s)) fmt
+
+let need_doc state =
+  match state.doc with
+  | Some doc -> doc
+  | None -> reply "error: no document loaded (use 'gen' or 'load')"
+
+let need_summary state =
+  match state.summary with
+  | Some s -> s
+  | None -> reply "error: no summary built (use 'summarize' or 'load-summary')"
+
+let parse_pattern q =
+  match Pattern_parser.parse q with
+  | Ok parsed -> parsed.Pattern_parser.root
+  | Error msg -> reply "error: %s" msg
+
+let set_document state doc =
+  state.doc <- Some doc;
+  state.summary <- None;
+  Printf.sprintf "document: %d element nodes, %d distinct tags"
+    (Document.size doc)
+    (List.length (Document.distinct_tags doc))
+
+let cmd_gen state dataset scale =
+  let elem =
+    match dataset with
+    | "dblp" -> Xmlest_datagen.Dblp_gen.generate_scaled scale
+    | "staff" -> Xmlest_datagen.Staff_gen.generate ~scale ()
+    | "xmark" -> Xmlest_datagen.Xmark_gen.generate ~scale ()
+    | "shakespeare" ->
+      Xmlest_datagen.Shakespeare_gen.generate
+        ~acts:(max 1 (int_of_float (5.0 *. scale)))
+        ()
+    | "treebank" ->
+      Xmlest_datagen.Treebank_gen.generate
+        ~sentences:(max 1 (int_of_float (200.0 *. scale)))
+        ()
+    | other -> reply "error: unknown data set %S" other
+  in
+  set_document state (Document.of_elem elem)
+
+let cmd_load state path =
+  match Xml_parser.parse_file path with
+  | Ok elem -> set_document state (Document.of_elem elem)
+  | Error e -> reply "error: %s" (Format.asprintf "%a" Xml_parser.pp_error e)
+  | exception Sys_error msg -> reply "error: %s" msg
+
+let cmd_stats state =
+  let doc = need_doc state in
+  Format.asprintf "%a" Doc_stats.pp_table (Doc_stats.tag_stats doc)
+
+let cmd_summarize state args =
+  let doc = need_doc state in
+  let grid_size =
+    match List.find_opt (fun a -> a <> "equidepth") args with
+    | Some g -> ( try int_of_string g with Failure _ -> reply "error: bad grid size %S" g)
+    | None -> 10
+  in
+  let grid_kind = if List.mem "equidepth" args then `Equidepth else `Uniform in
+  let summary = Summary.build ~grid_size ~grid_kind doc (tag_predicates doc) in
+  state.summary <- Some summary;
+  Printf.sprintf "summary: %d predicates, %d bytes (grid %d%s)"
+    (List.length (Summary.predicates summary))
+    (Summary.storage_bytes summary)
+    grid_size
+    (if grid_kind = `Equidepth then ", equi-depth" else "")
+
+let cmd_estimate state q =
+  let summary = need_summary state in
+  let pattern = parse_pattern q in
+  Printf.sprintf "~%.1f matches" (Summary.estimate summary pattern)
+
+let cmd_explain state q =
+  let summary = need_summary state in
+  let pattern = parse_pattern q in
+  let total, steps = Summary.explain summary pattern in
+  let lines =
+    List.map
+      (fun s ->
+        Printf.sprintf "  %-45s %-16s ~%.1f"
+          s.Xmlest_estimate.Twig_estimator.subtwig
+          s.Xmlest_estimate.Twig_estimator.method_used
+          s.Xmlest_estimate.Twig_estimator.estimate)
+      steps
+  in
+  String.concat "\n"
+    ((Printf.sprintf "~%.1f matches; joins:" total :: lines)
+    @ if steps = [] then [ "  (single-node pattern: histogram total)" ] else [])
+
+let cmd_exact state q =
+  let doc = need_doc state in
+  Printf.sprintf "%d matches" (Twig_count.count doc (parse_pattern q))
+
+let cmd_plan state q =
+  let summary = need_summary state in
+  let pattern = parse_pattern q in
+  if Pattern.edge_count pattern = 0 then reply "error: single-node pattern has no joins";
+  let ranked = Optimizer.rank (Summary.catalog summary) pattern in
+  String.concat "\n"
+    (List.map
+       (fun c ->
+         Printf.sprintf "  %-18s est. cost %12.1f"
+           (Format.asprintf "%a" Plan.pp c.Optimizer.plan)
+           c.Optimizer.cost)
+       ranked)
+
+let cmd_run state q limit =
+  let doc = need_doc state in
+  let pattern = parse_pattern q in
+  let order =
+    if Pattern.edge_count pattern = 0 then [ 0 ]
+    else begin
+      let summary = need_summary state in
+      (Optimizer.best (Summary.catalog summary) pattern).Optimizer.plan.Plan.order
+    end
+  in
+  let result = Executor.run doc pattern ~order in
+  let total = List.length result.Executor.rows in
+  let shown = min limit total in
+  let flat = Pattern.flatten pattern in
+  let header = Printf.sprintf "%d matches" total in
+  let rows =
+    List.filteri (fun k _ -> k < shown) result.Executor.rows
+    |> List.map (fun row ->
+           "  "
+           ^ String.concat " "
+               (List.map2
+                  (fun col node ->
+                    Printf.sprintf "%s@%d"
+                      (Predicate.name flat.Pattern.preds.(col))
+                      (Document.start_pos doc node))
+                  result.Executor.columns (Array.to_list row)))
+  in
+  String.concat "\n"
+    ((header :: rows)
+    @ if total > shown then [ Printf.sprintf "  ... %d more" (total - shown) ] else [])
+
+let cmd_hist state tag =
+  let summary = need_summary state in
+  let h = Summary.histogram summary (Predicate.tag tag) in
+  if Xmlest_histogram.Position_histogram.total h = 0.0 then
+    reply "error: no nodes with tag %S" tag
+  else Format.asprintf "%a" Xmlest_histogram.Position_histogram.pp_heatmap h
+
+let cmd_save_summary state path =
+  let summary = need_summary state in
+  (try Summary.save summary path
+   with Sys_error msg -> reply "error: %s" msg);
+  Printf.sprintf "saved summary to %s" path
+
+let cmd_load_summary state path =
+  match Summary.load path with
+  | Ok s ->
+    state.summary <- Some s;
+    Printf.sprintf "summary: %d predicates, %d bytes"
+      (List.length (Summary.predicates s))
+      (Summary.storage_bytes s)
+  | Error msg -> reply "error: %s" msg
+  | exception Sys_error msg -> reply "error: %s" msg
+
+let split line =
+  String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+
+let execute state line =
+  try
+    match split line with
+    | [] -> ""
+    | [ "help" ] -> help
+    | [ "gen"; dataset ] -> cmd_gen state dataset 1.0
+    | [ "gen"; dataset; scale ] -> (
+      match float_of_string_opt scale with
+      | Some s -> cmd_gen state dataset s
+      | None -> reply "error: bad scale %S" scale)
+    | [ "load"; path ] -> cmd_load state path
+    | [ "stats" ] -> cmd_stats state
+    | "summarize" :: args -> cmd_summarize state args
+    | [ "estimate"; q ] | [ "est"; q ] -> cmd_estimate state q
+    | [ "explain"; q ] -> cmd_explain state q
+    | [ "exact"; q ] -> cmd_exact state q
+    | [ "plan"; q ] -> cmd_plan state q
+    | [ "run"; q ] -> cmd_run state q 5
+    | [ "run"; q; limit ] -> (
+      match int_of_string_opt limit with
+      | Some l -> cmd_run state q l
+      | None -> reply "error: bad limit %S" limit)
+    | [ "hist"; tag ] -> cmd_hist state tag
+    | [ "save-summary"; path ] -> cmd_save_summary state path
+    | [ "load-summary"; path ] -> cmd_load_summary state path
+    | cmd :: _ -> reply "error: unknown command %S (try 'help')" cmd
+  with
+  | Reply s -> s
+  | Failure msg -> "error: " ^ msg
+  | Invalid_argument msg -> "error: " ^ msg

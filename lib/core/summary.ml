@@ -1,0 +1,436 @@
+open Xmlest_xmldb
+open Xmlest_query
+open Xmlest_histogram
+open Xmlest_estimate
+
+type entry = {
+  pred : Predicate.t;
+  hist : Position_histogram.t;
+  no_overlap : bool;
+  cvg : Coverage_histogram.t option;
+  lvl : Level_histogram.t option;
+}
+
+type t = {
+  doc : Document.t option;  (* None for summaries loaded from disk *)
+  grid : Grid.t;
+  preds : Predicate.t list;
+  entries : (string, entry) Hashtbl.t;  (* keyed by Predicate.name *)
+  pop : Position_histogram.t;
+  with_levels : bool;
+  extra : (string, Position_histogram.t) Hashtbl.t;  (* on-demand cache *)
+  lph_cache : (string, Level_position_histogram.t) Hashtbl.t;
+}
+
+let build_entry ?(schema_no_overlap = fun _ -> None) ~grid ~with_levels doc pred =
+  let nodes = Predicate.matching_nodes doc pred in
+  let hist = Position_histogram.of_nodes doc ~grid nodes in
+  let no_overlap =
+    match schema_no_overlap pred with
+    | Some b -> b
+    | None -> not (Interval_ops.has_nesting doc nodes)
+  in
+  let cvg =
+    if no_overlap && Array.length nodes > 0 then
+      Some (Coverage_histogram.build doc ~grid pred)
+    else None
+  in
+  let lvl = if with_levels then Some (Level_histogram.build doc pred) else None in
+  { pred; hist; no_overlap; cvg; lvl }
+
+(* Positions the equi-depth boundaries are drawn from: the starts and ends
+   of the nodes matching the base predicates, so bucket resolution
+   concentrates where the catalog's elements actually live.  (Over the
+   whole document the position population is perfectly dense — one node
+   per position pair — and equi-depth degenerates to uniform.)  Falls back
+   to every node when the predicates match nothing. *)
+let summary_positions doc preds =
+  let out = ref [] in
+  List.iter
+    (fun pred ->
+      Array.iter
+        (fun v ->
+          out := Document.start_pos doc v :: Document.end_pos doc v :: !out)
+        (Predicate.matching_nodes doc pred))
+    preds;
+  let positions =
+    match !out with
+    | [] ->
+      Array.init (2 * Document.size doc) (fun k ->
+          if k land 1 = 0 then Document.start_pos doc (k / 2)
+          else Document.end_pos doc (k / 2))
+    | l -> Array.of_list l
+  in
+  Array.sort compare positions;
+  positions
+
+let build ?(grid_size = 10) ?(grid_kind = `Uniform) ?schema_no_overlap
+    ?(with_levels = true) doc preds =
+  let grid =
+    match grid_kind with
+    | `Uniform -> Grid.create ~size:grid_size ~max_pos:(Document.max_pos doc)
+    | `Equidepth ->
+      Grid.equidepth ~size:grid_size ~max_pos:(Document.max_pos doc)
+        ~positions:(summary_positions doc preds)
+  in
+  let entries = Hashtbl.create 64 in
+  List.iter
+    (fun pred ->
+      let key = Predicate.name pred in
+      if not (Hashtbl.mem entries key) then
+        Hashtbl.add entries key
+          (build_entry ?schema_no_overlap ~grid ~with_levels doc pred))
+    preds;
+  {
+    doc = Some doc;
+    grid;
+    preds;
+    entries;
+    pop = Position_histogram.population doc ~grid;
+    with_levels;
+    extra = Hashtbl.create 8;
+    lph_cache = Hashtbl.create 8;
+  }
+
+let grid t = t.grid
+let document t = t.doc
+let predicates t = t.preds
+let population t = t.pop
+
+let find t pred = Hashtbl.find_opt t.entries (Predicate.name pred)
+
+(* Resolution order: catalog entry, then on-demand cache, then (for
+   boolean combinations) compound estimation over resolved parts, and for
+   unknown leaves a build from the document that is cached for reuse. *)
+let histogram t pred =
+  let lookup p =
+    match find t p with
+    | Some e -> Some e.hist
+    | None -> Hashtbl.find_opt t.extra (Predicate.name p)
+  in
+  (* A boolean combination is decomposed (per Sec. 3.4) only when all its
+     non-boolean leaves are resolvable; otherwise the whole predicate is
+     treated as a new base predicate and built from the document. *)
+  let rec leaves_known p =
+    match p with
+    | Predicate.True -> true
+    | Predicate.And (a, b) | Predicate.Or (a, b) -> leaves_known a && leaves_known b
+    | Predicate.Not a -> leaves_known a
+    | leaf -> lookup leaf <> None
+  in
+  let build_and_cache p =
+    match t.doc with
+    | None ->
+      failwith
+        (Printf.sprintf
+           "Summary: predicate %s is not in the catalog and no document is \
+            attached (summary loaded from disk?)"
+           (Predicate.name p))
+    | Some doc ->
+      let h = Position_histogram.build doc ~grid:t.grid p in
+      Hashtbl.add t.extra (Predicate.name p) h;
+      h
+  in
+  let base p =
+    match lookup p with
+    | Some h -> Some h
+    | None -> (
+      match p with
+      | Predicate.True -> None
+      | Predicate.And _ | Predicate.Or _ | Predicate.Not _ ->
+        if leaves_known p then None (* decompose *) else Some (build_and_cache p)
+      | leaf -> Some (build_and_cache leaf))
+  in
+  Compound.estimate ~population:t.pop ~base pred
+
+let coverage t pred =
+  match find t pred with Some e -> e.cvg | None -> None
+
+let level t pred =
+  match (find t pred, t.doc) with
+  | Some e, _ -> e.lvl
+  | None, Some doc ->
+    if t.with_levels then Some (Level_histogram.build doc pred) else None
+  | None, None -> None
+
+let has_no_overlap t pred =
+  match find t pred with Some e -> e.no_overlap | None -> false
+
+let node_count t pred = Position_histogram.total (histogram t pred)
+
+(* Level-position histograms are built lazily per predicate and cached:
+   they are only consulted under the Cell_level_scaled child mode. *)
+let position_levels t pred =
+  match t.doc with
+  | None -> None
+  | Some doc -> (
+    let key = "lph:" ^ Predicate.name pred in
+    match Hashtbl.find_opt t.lph_cache key with
+    | Some lph -> Some lph
+    | None ->
+      let lph = Level_position_histogram.build doc ~grid:t.grid pred in
+      Hashtbl.add t.lph_cache key lph;
+      Some lph)
+
+let catalog t =
+  {
+    Twig_estimator.hist = histogram t;
+    coverage = coverage t;
+    level = level t;
+    position_levels = position_levels t;
+  }
+
+let estimate ?options t pattern = Twig_estimator.estimate ?options (catalog t) pattern
+
+let explain ?options t pattern =
+  Twig_estimator.estimate_trace ?options (catalog t) pattern
+
+let estimate_string ?options t query =
+  estimate ?options t (Pattern_parser.pattern_exn query)
+
+let storage_bytes t =
+  Hashtbl.fold
+    (fun _ e acc ->
+      acc
+      + Position_histogram.storage_bytes e.hist
+      + (match e.cvg with Some c -> Coverage_histogram.storage_bytes c | None -> 0)
+      + match e.lvl with Some l -> Level_histogram.storage_bytes l | None -> 0)
+    t.entries 0
+
+let pp_stats ppf t =
+  Format.fprintf ppf "%-32s %10s %12s %8s@." "predicate" "count" "overlap"
+    "bytes";
+  List.iter
+    (fun pred ->
+      match find t pred with
+      | None -> ()
+      | Some e ->
+        let bytes =
+          Position_histogram.storage_bytes e.hist
+          + match e.cvg with Some c -> Coverage_histogram.storage_bytes c | None -> 0
+        in
+        Format.fprintf ppf "%-32s %10.0f %12s %8d@." (Predicate.name pred)
+          (Position_histogram.total e.hist)
+          (if e.no_overlap then "no overlap" else "overlap")
+          bytes)
+    t.preds
+
+(* --- Persistence ------------------------------------------------------ *)
+
+(* Line-oriented text format, one summary per file:
+
+   xmlest-summary 1
+   grid (uniform <size> <max_pos> | boundaries <size> <max_pos> <b1..b_{g-1}>)
+   population <n>        followed by n lines "i j count"
+   predicates <k>        followed by k blocks:
+     predicate <0|1 no-overlap> <predicate s-expression>
+     hist <n>            followed by n lines "i j count"
+     coverage (none | <n>)   n lines "covered covering fraction"
+     level (none | <m> <c0> ... <c_{m-1}>)
+   end *)
+
+let version_line = "xmlest-summary 1"
+
+let output_hist buf h =
+  let cells = ref [] in
+  Position_histogram.iter_nonzero h (fun ~i ~j v -> cells := (i, j, v) :: !cells);
+  let cells = List.rev !cells in
+  Buffer.add_string buf (Printf.sprintf "%d\n" (List.length cells));
+  List.iter
+    (fun (i, j, v) -> Buffer.add_string buf (Printf.sprintf "%d %d %.17g\n" i j v))
+    cells
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (version_line ^ "\n");
+  let g = t.grid in
+  (if Grid.is_uniform g then
+     Buffer.add_string buf
+       (Printf.sprintf "grid uniform %d %d\n" g.Grid.size g.Grid.max_pos)
+   else begin
+     Buffer.add_string buf
+       (Printf.sprintf "grid boundaries %d %d" g.Grid.size g.Grid.max_pos);
+     for i = 1 to g.Grid.size - 1 do
+       Buffer.add_string buf (Printf.sprintf " %d" g.Grid.boundaries.(i))
+     done;
+     Buffer.add_string buf "\n"
+   end);
+  Buffer.add_string buf "population ";
+  output_hist buf t.pop;
+  Buffer.add_string buf (Printf.sprintf "predicates %d\n" (List.length t.preds));
+  List.iter
+    (fun pred ->
+      match find t pred with
+      | None -> ()
+      | Some e ->
+        Buffer.add_string buf
+          (Printf.sprintf "predicate %d %s\n"
+             (if e.no_overlap then 1 else 0)
+             (Predicate.to_syntax e.pred));
+        Buffer.add_string buf "hist ";
+        output_hist buf e.hist;
+        (match e.cvg with
+        | None -> Buffer.add_string buf "coverage none\n"
+        | Some cvg ->
+          let entries =
+            Coverage_histogram.fold_entries cvg ~init:[]
+              ~f:(fun acc ~covered ~covering frac -> (covered, covering, frac) :: acc)
+          in
+          let entries = List.rev entries in
+          Buffer.add_string buf (Printf.sprintf "coverage %d\n" (List.length entries));
+          List.iter
+            (fun (covered, covering, frac) ->
+              Buffer.add_string buf
+                (Printf.sprintf "%d %d %.17g\n" covered covering frac))
+            entries);
+        (match e.lvl with
+        | None -> Buffer.add_string buf "level none\n"
+        | Some lvl ->
+          let counts = Level_histogram.counts lvl in
+          Buffer.add_string buf (Printf.sprintf "level %d" (Array.length counts));
+          Array.iter
+            (fun c -> Buffer.add_string buf (Printf.sprintf " %.17g" c))
+            counts;
+          Buffer.add_string buf "\n"))
+    t.preds;
+  Buffer.add_string buf "end\n";
+  Buffer.contents buf
+
+exception Bad_summary of string
+
+let of_string input =
+  let lines = String.split_on_char '\n' input in
+  let lines = ref lines in
+  let fail msg = raise (Bad_summary msg) in
+  let next () =
+    match !lines with
+    | [] -> fail "unexpected end of input"
+    | l :: rest ->
+      lines := rest;
+      l
+  in
+  let words l = String.split_on_char ' ' l |> List.filter (fun w -> w <> "") in
+  let int_of w = try int_of_string w with Failure _ -> fail ("bad integer " ^ w) in
+  let float_of w = try float_of_string w with Failure _ -> fail ("bad number " ^ w) in
+  try
+    if next () <> version_line then fail "not an xmlest summary (bad header)";
+    let grid =
+      match words (next ()) with
+      | [ "grid"; "uniform"; size; max_pos ] ->
+        Grid.create ~size:(int_of size) ~max_pos:(int_of max_pos)
+      | "grid" :: "boundaries" :: size :: max_pos :: inner ->
+        let size = int_of size and max_pos = int_of max_pos in
+        if List.length inner <> size - 1 then fail "boundary count mismatch";
+        let inner = List.map int_of inner in
+        let boundaries = Array.of_list ((0 :: inner) @ [ max_pos + 1 ]) in
+        (try Grid.of_boundaries boundaries
+         with Invalid_argument msg -> fail msg)
+      | _ -> fail "expected a grid line"
+    in
+    let read_hist_body n =
+      let h = Position_histogram.create_empty grid in
+      for _ = 1 to n do
+        match words (next ()) with
+        | [ i; j; v ] ->
+          Position_histogram.add h ~i:(int_of i) ~j:(int_of j) (float_of v)
+        | _ -> fail "bad histogram cell line"
+      done;
+      h
+    in
+    let pop =
+      match words (next ()) with
+      | [ "population"; n ] -> read_hist_body (int_of n)
+      | _ -> fail "expected population section"
+    in
+    let n_preds =
+      match words (next ()) with
+      | [ "predicates"; k ] -> int_of k
+      | _ -> fail "expected predicates section"
+    in
+    let entries = Hashtbl.create 16 in
+    let preds = ref [] in
+    let with_levels = ref false in
+    for _ = 1 to n_preds do
+      let no_overlap, pred =
+        let line = next () in
+        match words line with
+        | "predicate" :: flag :: _ ->
+          let sexp_start =
+            (* the s-expression is everything after "predicate <flag> " *)
+            let prefix = "predicate " ^ flag ^ " " in
+            if String.length line < String.length prefix then fail "bad predicate line"
+            else String.sub line (String.length prefix)
+                   (String.length line - String.length prefix)
+          in
+          let pred =
+            match Predicate.of_syntax sexp_start with
+            | Ok p -> p
+            | Error e -> fail ("bad predicate: " ^ e)
+          in
+          (int_of flag = 1, pred)
+        | _ -> fail "expected a predicate line"
+      in
+      let hist =
+        match words (next ()) with
+        | [ "hist"; n ] -> read_hist_body (int_of n)
+        | _ -> fail "expected hist section"
+      in
+      let cvg =
+        match words (next ()) with
+        | [ "coverage"; "none" ] -> None
+        | [ "coverage"; n ] ->
+          let entries = ref [] in
+          for _ = 1 to int_of n do
+            match words (next ()) with
+            | [ covered; covering; frac ] ->
+              entries := (int_of covered, int_of covering, float_of frac) :: !entries
+            | _ -> fail "bad coverage line"
+          done;
+          let populations = Array.make (Grid.cells grid) 0.0 in
+          Position_histogram.iter_nonzero pop (fun ~i ~j v ->
+              populations.(Grid.index grid ~i ~j) <- v);
+          Some
+            (Coverage_histogram.of_parts ~grid ~populations
+               ~entries:(List.rev !entries))
+        | _ -> fail "expected coverage section"
+      in
+      let lvl =
+        match words (next ()) with
+        | [ "level"; "none" ] -> None
+        | "level" :: m :: counts ->
+          if List.length counts <> int_of m then fail "level count mismatch";
+          with_levels := true;
+          Some (Level_histogram.of_counts (Array.of_list (List.map float_of counts)))
+        | _ -> fail "expected level section"
+      in
+      let key = Predicate.name pred in
+      Hashtbl.replace entries key { pred; hist; no_overlap; cvg; lvl };
+      preds := pred :: !preds
+    done;
+    (match words (next ()) with
+    | [ "end" ] -> ()
+    | _ -> fail "expected end marker");
+    Ok
+      {
+        doc = None;
+        grid;
+        preds = List.rev !preds;
+        entries;
+        pop;
+        with_levels = !with_levels;
+        extra = Hashtbl.create 8;
+        lph_cache = Hashtbl.create 8;
+      }
+  with Bad_summary msg -> Error msg
+
+let save t path =
+  let oc = open_out_bin path in
+  output_string oc (to_string t);
+  close_out oc
+
+let load path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let contents = really_input_string ic n in
+  close_in ic;
+  of_string contents

@@ -1,0 +1,99 @@
+(** The summary catalog: the paper's data structure T' (Sec. 2).
+
+    Holds, for a chosen set of base predicates over one document store:
+    position histograms, coverage histograms for predicates with the
+    no-overlap property, level histograms, and the population ([TRUE])
+    histogram.  This is the surface a query optimizer (TIMBER, in the
+    paper) consults: build it once, then estimate any twig pattern over
+    the predicate set without touching the data again. *)
+
+open Xmlest_xmldb
+open Xmlest_query
+open Xmlest_histogram
+open Xmlest_estimate
+
+type t
+
+val build :
+  ?grid_size:int ->
+  ?grid_kind:[ `Uniform | `Equidepth ] ->
+  ?schema_no_overlap:(Predicate.t -> bool option) ->
+  ?with_levels:bool ->
+  Document.t ->
+  Predicate.t list ->
+  t
+(** Build summaries for the given base predicates ([grid_size] defaults to
+    10, the paper's configuration).  [`Uniform] (default) uses equal-width
+    buckets as in the paper; [`Equidepth] places bucket boundaries at
+    quantiles of the base predicates' node positions, concentrating
+    resolution where the catalog's elements live — the non-uniform grids
+    flagged as future work in Sec. 7.  The no-overlap property is
+    detected from the data unless [schema_no_overlap] overrides it;
+    coverage histograms are built exactly for the no-overlap predicates.
+    Level histograms (for the parent-child extension) are built when
+    [with_levels] is true (default). *)
+
+val grid : t -> Grid.t
+
+val document : t -> Document.t option
+(** The document the summary was built over; [None] for summaries loaded
+    from disk. *)
+
+val predicates : t -> Predicate.t list
+
+val histogram : t -> Predicate.t -> Position_histogram.t
+(** Histogram of a predicate.  Base predicates are served from the catalog;
+    boolean combinations are estimated from their parts via
+    {!Xmlest_estimate.Compound} (with the population histogram as
+    normalizer); other unknown predicates are built from the document on
+    first use and cached. *)
+
+val coverage : t -> Predicate.t -> Coverage_histogram.t option
+val level : t -> Predicate.t -> Level_histogram.t option
+val population : t -> Position_histogram.t
+
+val has_no_overlap : t -> Predicate.t -> bool
+(** The predicate's no-overlap status as recorded in the catalog (false for
+    predicates outside it). *)
+
+val node_count : t -> Predicate.t -> float
+(** Total of the predicate's histogram (exact for catalog predicates). *)
+
+val catalog : t -> Twig_estimator.catalog
+(** View as the estimator's lookup interface. *)
+
+val estimate : ?options:Twig_estimator.options -> t -> Pattern.t -> float
+(** Estimate the answer size of a twig pattern. *)
+
+val estimate_string : ?options:Twig_estimator.options -> t -> string -> float
+(** Parse an XPath-like query ({!Xmlest_query.Pattern_parser}) and estimate
+    it.  Raises [Failure] on a parse error. *)
+
+val explain :
+  ?options:Twig_estimator.options ->
+  t ->
+  Pattern.t ->
+  float * Twig_estimator.step list
+(** The estimate plus a join-by-join trace (sub-twig, method, running
+    estimate) — what a TIMBER EXPLAIN would print. *)
+
+val storage_bytes : t -> int
+(** Total sparse storage of all histograms in the catalog — the summary
+    size the paper reports (≈0.7% of the data for DBLP). *)
+
+val pp_stats : Format.formatter -> t -> unit
+(** One line per predicate: count, overlap property, storage. *)
+
+(** {2 Persistence}
+
+    A summary is a database statistic: it outlives the process that built
+    it.  The text format stores the grid, the population histogram and,
+    per predicate, the position histogram, coverage entries and level
+    counts.  A loaded summary estimates exactly like the original but
+    carries no document, so unknown leaf predicates cannot be built on
+    demand ({!histogram} raises [Failure] for them). *)
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+val save : t -> string -> unit
+val load : string -> (t, string) result

@@ -1,0 +1,50 @@
+(** Synthetic DBLP-shaped data set.
+
+    Stands in for the real DBLP snapshot used in Sec. 5.1 (9 MB, ~0.5M
+    nodes), which is not available offline.  The generator reproduces the
+    structural features the experiments depend on:
+
+    - a flat [dblp] root holding publication records ([article],
+      [inproceedings], [book], [incollection], [phdthesis]), so every
+      element-tag predicate of Table 1 has the no-overlap property;
+    - field multiplicities shaped after Table 1's counts: per record one
+      [title] and one [year], ~2.1 [author]s, ~0.98 [url], skewed [cite]
+      lists (mean ~1.66, most records citing nothing), rare [cdrom];
+    - [cite] text beginning with ["conf/"] (~41%), ["journals/"] (~24%) or
+      other prefixes, supporting the prefix-match content predicates;
+    - [year] text distributed ~65% in the 1980s, ~20% in the 1990s, rest
+      earlier, matching the compound-predicate counts of Table 1.
+
+    Record-kind proportions follow Table 1: with [n_records = 19_921] the
+    defaults give ≈7.4k articles, ≈0.4k books and ≈12k inproceedings. *)
+
+open Xmlest_xmldb
+
+type config = {
+  seed : int;
+  n_records : int;
+  p_article : float;
+  p_book : float;  (** remaining records are inproceedings/incollection/phdthesis *)
+  authors_mean : float;  (** mean authors per record (≥ 1) *)
+  p_url : float;
+  group_by_kind : bool;
+      (** emit records grouped by kind, as dblp.xml does — the positional
+          clustering that coverage histograms exploit *)
+  cdrom_rate : string -> float;  (** cdrom probability per record kind *)
+  cite_profile : string -> float * float;
+      (** per kind: (probability of having a citation list, mean list
+          length when present) *)
+}
+
+val default_config : config
+(** Proportions of Table 1 at full scale ([n_records = 19_921]). *)
+
+val config : ?seed:int -> scale:float -> unit -> config
+(** [config ~scale] is {!default_config} with [n_records] scaled;
+    [scale = 1.0] reproduces Table 1's magnitudes (~150k element nodes). *)
+
+val generate : config -> Elem.t
+(** Generate the [dblp] document. *)
+
+val generate_scaled : ?seed:int -> float -> Elem.t
+(** [generate_scaled s] = [generate (config ~scale:s)]. *)

@@ -1,0 +1,139 @@
+(* A small recursive-descent parser over a token list.
+
+   Grammar for a content specification:
+     spec     ::= "EMPTY" | "ANY" | particle
+     particle ::= unit ( "?" | "*" | "+" )?
+     unit     ::= name | "#PCDATA" | "(" alts ")"
+     alts     ::= particle ( ("," particle)* | ("|" particle)* )        *)
+
+type token = Lparen | Rparen | Comma | Bar | Quest | Star | Plus | Name of string
+
+let tokenize src =
+  let tokens = ref [] in
+  let n = String.length src in
+  let i = ref 0 in
+  let is_name_char ch =
+    (ch >= 'a' && ch <= 'z')
+    || (ch >= 'A' && ch <= 'Z')
+    || (ch >= '0' && ch <= '9')
+    || ch = '_' || ch = '-' || ch = '.' || ch = ':' || ch = '#'
+  in
+  while !i < n do
+    let ch = src.[!i] in
+    (match ch with
+    | ' ' | '\t' | '\r' | '\n' -> incr i
+    | '(' -> tokens := Lparen :: !tokens; incr i
+    | ')' -> tokens := Rparen :: !tokens; incr i
+    | ',' -> tokens := Comma :: !tokens; incr i
+    | '|' -> tokens := Bar :: !tokens; incr i
+    | '?' -> tokens := Quest :: !tokens; incr i
+    | '*' -> tokens := Star :: !tokens; incr i
+    | '+' -> tokens := Plus :: !tokens; incr i
+    | ch when is_name_char ch ->
+      let start = !i in
+      while !i < n && is_name_char src.[!i] do
+        incr i
+      done;
+      tokens := Name (String.sub src start (!i - start)) :: !tokens
+    | ch -> failwith (Printf.sprintf "DTD: unexpected character %C" ch));
+  done;
+  List.rev !tokens
+
+let parse_spec tokens =
+  let toks = ref tokens in
+  let peek () = match !toks with [] -> None | t :: _ -> Some t in
+  let next () =
+    match !toks with
+    | [] -> failwith "DTD: unexpected end of content model"
+    | t :: rest ->
+      toks := rest;
+      t
+  in
+  let with_occurrence p =
+    match peek () with
+    | Some Quest -> ignore (next ()); Dtd.Opt p
+    | Some Star -> ignore (next ()); Dtd.Star p
+    | Some Plus -> ignore (next ()); Dtd.Plus p
+    | _ -> p
+  in
+  let rec parse_particle () = with_occurrence (parse_unit ())
+  and parse_unit () =
+    match next () with
+    | Name "#PCDATA" -> Dtd.Pcdata
+    | Name n -> Dtd.Elem_ref n
+    | Lparen ->
+      let first = parse_particle () in
+      let rec collect sep acc =
+        match peek () with
+        | Some Rparen ->
+          ignore (next ());
+          (sep, List.rev acc)
+        | Some Comma when sep <> `Bar ->
+          ignore (next ());
+          collect `Comma (parse_particle () :: acc)
+        | Some Bar when sep <> `Comma ->
+          ignore (next ());
+          collect `Bar (parse_particle () :: acc)
+        | _ -> failwith "DTD: expected ',', '|' or ')' in content model"
+      in
+      let sep, items = collect `None [ first ] in
+      (match (sep, items) with
+      | `None, [ p ] -> p
+      | `Comma, ps -> Dtd.Seq ps
+      | `Bar, ps -> Dtd.Choice ps
+      | _ -> assert false)
+    | _ -> failwith "DTD: expected a name, '#PCDATA' or '(' in content model"
+  in
+  let spec =
+    match peek () with
+    | Some (Name "EMPTY") -> ignore (next ()); Dtd.Empty
+    | Some (Name "ANY") -> ignore (next ()); Dtd.Pcdata
+    | _ -> parse_particle ()
+  in
+  if !toks <> [] then failwith "DTD: trailing tokens in content model";
+  spec
+
+(* Extract "<!ELEMENT name spec>" declarations from the source text,
+   skipping comments and other declarations. *)
+let parse src =
+  try
+    let decls = ref [] in
+    let n = String.length src in
+    let i = ref 0 in
+    let looking_at s =
+      let l = String.length s in
+      !i + l <= n && String.sub src !i l = s
+    in
+    while !i < n do
+      if looking_at "<!--" then begin
+        (* skip comment *)
+        i := !i + 4;
+        while !i < n && not (looking_at "-->") do
+          incr i
+        done;
+        if looking_at "-->" then i := !i + 3
+      end
+      else if looking_at "<!ELEMENT" then begin
+        i := !i + 9;
+        let start = !i in
+        while !i < n && src.[!i] <> '>' do
+          incr i
+        done;
+        if !i >= n then failwith "DTD: unterminated <!ELEMENT";
+        let body = String.sub src start (!i - start) in
+        incr i;
+        match tokenize body with
+        | Name name :: rest ->
+          decls := { Dtd.name; content = parse_spec rest } :: !decls
+        | _ -> failwith "DTD: expected element name after <!ELEMENT"
+      end
+      else incr i
+    done;
+    if !decls = [] then failwith "DTD: no <!ELEMENT declarations found";
+    Ok (Dtd.make (List.rev !decls))
+  with
+  | Failure msg -> Error msg
+  | Invalid_argument msg -> Error msg
+
+let parse_exn src =
+  match parse src with Ok d -> d | Error msg -> failwith msg

@@ -1,0 +1,52 @@
+open Xmlest_xmldb
+let speakers =
+  [|
+    "HAMLET"; "OPHELIA"; "CLAUDIUS"; "GERTRUDE"; "POLONIUS"; "HORATIO";
+    "LAERTES"; "GHOST"; "ROSENCRANTZ"; "GUILDENSTERN"; "First Clown";
+  |]
+
+let speech rng =
+  let n_lines = 1 + Splitmix.int rng 8 in
+  Elem.make
+    ~children:
+      (Elem.leaf "SPEAKER" (Splitmix.choose rng speakers)
+      :: List.init n_lines (fun _ -> Elem.leaf "LINE" (Text_pool.sentence rng)))
+    "SPEECH"
+
+let scene rng act_no scene_no =
+  let n_speeches = 10 + Splitmix.int rng 30 in
+  let body =
+    Elem.leaf "TITLE" (Printf.sprintf "SCENE %d. %s" scene_no (Text_pool.title rng))
+    :: Elem.leaf "STAGEDIR" ("Enter " ^ Text_pool.person rng)
+    :: List.concat_map
+         (fun _ ->
+           if Splitmix.bool rng 0.12 then
+             [ Elem.leaf "STAGEDIR" ("Exit " ^ Text_pool.person rng); speech rng ]
+           else [ speech rng ])
+         (List.init n_speeches Fun.id)
+  in
+  ignore act_no;
+  Elem.make ~children:body "SCENE"
+
+let act rng act_no =
+  let n_scenes = 2 + Splitmix.int rng 4 in
+  Elem.make
+    ~children:
+      (Elem.leaf "TITLE" (Printf.sprintf "ACT %d" act_no)
+      :: List.init n_scenes (fun k -> scene rng act_no (k + 1)))
+    "ACT"
+
+let generate ?(seed = 1603) ?(acts = 5) () =
+  let rng = Splitmix.create seed in
+  let personae =
+    Elem.make
+      ~children:
+        (Elem.leaf "TITLE" "Dramatis Personae"
+        :: Array.to_list (Array.map (fun s -> Elem.leaf "PERSONA" s) speakers))
+      "PERSONAE"
+  in
+  Elem.make
+    ~children:
+      ([ Elem.leaf "TITLE" "The Tragedy of the Estimated Answer Size"; personae ]
+      @ List.init acts (fun k -> act rng (k + 1)))
+    "PLAY"

@@ -1,0 +1,11 @@
+(** Shakespeare-play-shaped data set.
+
+    A stand-in for the ibiblio Shakespeare XML corpus mentioned in
+    Sec. 5.1: a [PLAY] with [ACT]s, [SCENE]s, [SPEECH]es ([SPEAKER] +
+    [LINE]+) and stage directions — a shallow, wide, text-heavy document
+    contrasting with DBLP and the deeply recursive synthetic data. *)
+
+open Xmlest_xmldb
+
+val generate : ?seed:int -> ?acts:int -> unit -> Elem.t
+(** Default [acts = 5]; roughly 1.3k element nodes per act. *)

@@ -1,0 +1,84 @@
+open Xmlest_xmldb
+
+let dtd_text =
+  "<!ELEMENT manager (name,(manager|department|employee)+)>\n\
+   <!ELEMENT department (name, email?, employee+, department*)>\n\
+   <!ELEMENT employee (name+,email?)>\n\
+   <!ELEMENT name (#PCDATA)>\n\
+   <!ELEMENT email (#PCDATA)>\n"
+
+let dtd () = Dtd_parser.parse_exn dtd_text
+
+let text rng = function
+  | "name" -> Text_pool.person rng
+  | "email" -> Text_pool.email rng
+  | _ -> Text_pool.sentence rng
+
+(* Per-context repetition means and branch weights derived from Table 3's
+   target counts (44 manager / 270 department / 473 employee / 173 email /
+   1002 name): each manager carries ~4.4 choice children split ~22:42:36
+   between the manager, department and employee branches; departments spawn
+   ~0.7 child departments and ~1.5 employees; employees carry ~1.45 names;
+   emails appear with probability 0.23. *)
+let rep_mean ~parent ~kind ~elems =
+  match (parent, kind, elems) with
+  | "manager", `Plus, _ -> Some 3.37
+  | "department", `Plus, [ "employee" ] -> Some 0.5
+  | "department", `Star, [ "department" ] -> Some 0.70
+  | "employee", `Plus, [ "name" ] -> Some 0.45
+  | _ -> None
+
+let choice_weight ~parent ~elems =
+  match (parent, elems) with
+  | "manager", [ "manager" ] -> Some 22.4
+  | "manager", [ "department" ] -> Some 42.1
+  | "manager", [ "employee" ] -> Some 35.5
+  | _ -> None
+
+let config seed =
+  {
+    Dtd_gen.seed;
+    max_depth = 12;
+    p_opt = 0.23;
+    star_mean = 0.70;
+    plus_extra_mean = 0.5;
+    recursion_damping = 0.97;
+    max_nodes = 1_000_000;
+    text;
+    rep_mean;
+    choice_weight;
+  }
+
+(* The branching process is near-critical, so single draws have high
+   variance (as with the IBM generator).  Draw a deterministic series of
+   documents and keep the one whose per-tag counts best match the scaled
+   Table 3 targets. *)
+let generate ?(seed = 2002) ?(scale = 1.0) () =
+  let targets =
+    [
+      ("manager", 44.0 *. scale);
+      ("department", 270.0 *. scale);
+      ("employee", 473.0 *. scale);
+      ("email", 173.0 *. scale);
+      ("name", 1002.0 *. scale);
+    ]
+  in
+  let score e =
+    let counts = Elem.tag_counts e in
+    List.fold_left
+      (fun acc (tag, target) ->
+        let c =
+          match List.assoc_opt tag counts with Some c -> float_of_int c | None -> 0.0
+        in
+        acc +. (Float.abs (c -. target) /. Float.max target 1.0))
+      0.0 targets
+  in
+  let best = ref None in
+  for k = 0 to 119 do
+    let e = Dtd_gen.generate ~config:(config (seed + (k * 7919))) (dtd ()) ~root:"manager" in
+    let s = score e in
+    match !best with
+    | Some (bs, _) when bs <= s -> ()
+    | _ -> best := Some (s, e)
+  done;
+  match !best with Some (_, e) -> e | None -> assert false

@@ -1,0 +1,63 @@
+let first_names =
+  [|
+    "Ada"; "Alan"; "Barbara"; "Brian"; "Claude"; "Donald"; "Edsger";
+    "Frances"; "Grace"; "Hedy"; "John"; "Katherine"; "Ken"; "Leslie";
+    "Margaret"; "Niklaus"; "Radia"; "Robin"; "Shafi"; "Tim"; "Yuqing";
+    "Jignesh"; "Hosagrahar"; "Michael"; "Jennifer"; "David"; "Susan";
+    "Peter"; "Laura"; "James"; "Maria"; "Wei"; "Raghu"; "Hector";
+  |]
+
+let last_names =
+  [|
+    "Lovelace"; "Turing"; "Liskov"; "Kernighan"; "Shannon"; "Knuth";
+    "Dijkstra"; "Allen"; "Hopper"; "Lamarr"; "Backus"; "Johnson";
+    "Thompson"; "Lamport"; "Hamilton"; "Wirth"; "Perlman"; "Milner";
+    "Goldwasser"; "Berners-Lee"; "Wu"; "Patel"; "Jagadish"; "Stonebraker";
+    "Widom"; "DeWitt"; "Davidson"; "Buneman"; "Suciu"; "Gray"; "Chen";
+    "Ramakrishnan"; "Garcia-Molina"; "Naughton";
+  |]
+
+let words =
+  [|
+    "query"; "index"; "join"; "tree"; "pattern"; "estimation"; "histogram";
+    "selectivity"; "database"; "structure"; "document"; "element"; "node";
+    "path"; "twig"; "schema"; "storage"; "optimization"; "evaluation";
+    "semistructured"; "relational"; "native"; "efficient"; "scalable";
+    "adaptive"; "parallel"; "distributed"; "approximate"; "dynamic";
+    "incremental"; "cost"; "plan"; "cache"; "buffer"; "stream"; "graph";
+    "label"; "interval"; "region"; "position"; "answer"; "result"; "size";
+    "summary"; "statistics"; "workload"; "benchmark"; "system"; "engine";
+  |]
+
+let domains = [| "example.org"; "example.com"; "univ.edu"; "lab.net" |]
+
+let first_name rng = Splitmix.choose rng first_names
+let last_name rng = Splitmix.choose rng last_names
+let person rng = first_name rng ^ " " ^ last_name rng
+let word rng = Splitmix.choose rng words
+
+let capitalize s =
+  if s = "" then s
+  else String.mapi (fun i ch -> if i = 0 then Char.uppercase_ascii ch else ch) s
+
+let phrase rng ~lo ~hi ~capitalize_first =
+  let n = Splitmix.int_in rng lo hi in
+  let b = Buffer.create 64 in
+  for i = 0 to n - 1 do
+    if i > 0 then Buffer.add_char b ' ';
+    let w = word rng in
+    Buffer.add_string b (if i = 0 && capitalize_first then capitalize w else w)
+  done;
+  Buffer.contents b
+
+let title rng = phrase rng ~lo:3 ~hi:9 ~capitalize_first:true
+let sentence rng = phrase rng ~lo:6 ~hi:16 ~capitalize_first:true ^ "."
+
+let email rng =
+  let user = String.lowercase_ascii (last_name rng) in
+  let user =
+    String.map (fun ch -> if ch = ' ' || ch = '-' then '.' else ch) user
+  in
+  Printf.sprintf "%s%d@%s" user (Splitmix.int rng 100) (Splitmix.choose rng domains)
+
+let identifier rng ~prefix = Printf.sprintf "%s%06d" prefix (Splitmix.int rng 1_000_000)

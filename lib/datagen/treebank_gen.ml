@@ -1,0 +1,65 @@
+open Xmlest_xmldb
+
+(* A small probabilistic phrase-structure grammar.  Recursion (S inside
+   SBAR inside VP inside S, PP chains, nested NPs) is damped with depth so
+   sentences terminate, but slowly enough that deep chains occur. *)
+
+let nouns = [| "estimator"; "histogram"; "query"; "tree"; "join"; "answer" |]
+let verbs = [| "estimates"; "joins"; "matches"; "counts"; "covers" |]
+let preps = [| "of"; "in"; "over"; "under"; "with" |]
+let dets = [| "the"; "a"; "every"; "some" |]
+let adjs = [| "structural"; "recursive"; "sparse"; "accurate"; "nested" |]
+
+let word rng pool = Splitmix.choose rng pool
+
+let rec np rng depth =
+  let base =
+    [
+      Elem.leaf "DT" (word rng dets);
+      (if Splitmix.bool rng 0.4 then Elem.leaf "JJ" (word rng adjs)
+       else Elem.leaf "NN" (word rng nouns));
+      Elem.leaf "NN" (word rng nouns);
+    ]
+  in
+  let damp = Float.pow 0.75 (float_of_int depth) in
+  let children =
+    base
+    @ (if Splitmix.bool rng (0.45 *. damp) then [ pp rng (depth + 1) ] else [])
+    @
+    if Splitmix.bool rng (0.2 *. damp) then
+      (* apposition: an NP directly inside an NP *)
+      [ np rng (depth + 1) ]
+    else []
+  in
+  Elem.make ~children "NP"
+
+and pp rng depth =
+  Elem.make
+    ~children:[ Elem.leaf "IN" (word rng preps); np rng (depth + 1) ]
+    "PP"
+
+and vp rng depth =
+  let damp = Float.pow 0.85 (float_of_int depth) in
+  let children =
+    [ Elem.leaf "VB" (word rng verbs); np rng (depth + 1) ]
+    @ (if Splitmix.bool rng (0.35 *. damp) then [ pp rng (depth + 1) ] else [])
+    @
+    if Splitmix.bool rng (0.4 *. damp) then [ sbar rng (depth + 1) ] else []
+  in
+  Elem.make ~children "VP"
+
+and sbar rng depth =
+  Elem.make
+    ~children:[ Elem.leaf "IN" "that"; sentence rng (depth + 1) ]
+    "SBAR"
+
+and sentence rng depth =
+  Elem.make ~children:[ np rng (depth + 1); vp rng (depth + 1) ] "S"
+
+let generate ?(seed = 1993) ?(sentences = 200) () =
+  let rng = Splitmix.create seed in
+  let body =
+    List.init sentences (fun _ ->
+        Elem.make ~children:[ sentence rng 0 ] "EMPTY")
+  in
+  Elem.make ~children:body "FILE"

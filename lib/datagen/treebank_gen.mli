@@ -1,0 +1,13 @@
+(** Treebank-shaped data set: deeply recursive parse trees.
+
+    The Penn Treebank XML rendering is the classic stress test for
+    structural-join estimation — nearly every tag ([S], [NP], [VP], [PP],
+    [SBAR]) nests within itself, so no-overlap shortcuts never apply and
+    position histograms carry all the structure.  This generator produces
+    a [FILE] of [EMPTY]-rooted sentences whose grammar mirrors the
+    treebank's recursive phrase structure, with depths reaching 20+. *)
+
+open Xmlest_xmldb
+
+val generate : ?seed:int -> ?sentences:int -> unit -> Elem.t
+(** Default 200 sentences, roughly 9k element nodes. *)

@@ -1,0 +1,150 @@
+open Xmlest_xmldb
+let continents = [| "africa"; "asia"; "australia"; "europe"; "namerica"; "samerica" |]
+
+(* Recursive text markup: description -> (text | parlist), parlist ->
+   listitem+, listitem -> (text | parlist).  Gives nested/overlapping tags
+   like XMark's. *)
+let rec description rng depth =
+  if depth >= 3 || Splitmix.bool rng 0.6 then
+    Elem.make ~children:[ Elem.leaf "text" (Text_pool.sentence rng) ] "description"
+  else Elem.make ~children:[ parlist rng depth ] "description"
+
+and parlist rng depth =
+  let n = 1 + Splitmix.int rng 3 in
+  let items = List.init n (fun _ -> listitem rng (depth + 1)) in
+  Elem.make ~children:items "parlist"
+
+and listitem rng depth =
+  if depth >= 3 || Splitmix.bool rng 0.7 then
+    Elem.make ~children:[ Elem.leaf "text" (Text_pool.sentence rng) ] "listitem"
+  else Elem.make ~children:[ parlist rng depth ] "listitem"
+
+let item rng id =
+  Elem.make
+    ~attrs:[ ("id", Printf.sprintf "item%d" id) ]
+    ~children:
+      [
+        Elem.leaf "location" (Text_pool.word rng);
+        Elem.leaf "quantity" (string_of_int (1 + Splitmix.int rng 5));
+        Elem.leaf "name" (Text_pool.title rng);
+        Elem.leaf "payment" "Creditcard";
+        description rng 0;
+      ]
+    "item"
+
+let person rng id =
+  let base =
+    [
+      Elem.leaf "name" (Text_pool.person rng);
+      Elem.leaf "emailaddress" (Text_pool.email rng);
+    ]
+  in
+  let base =
+    if Splitmix.bool rng 0.4 then
+      base @ [ Elem.leaf "phone" (Printf.sprintf "+1 (%d) %d" (Splitmix.int rng 900 + 100) (Splitmix.int rng 1_000_000)) ]
+    else base
+  in
+  let base =
+    if Splitmix.bool rng 0.5 then
+      base
+      @ [
+          Elem.make
+            ~attrs:[ ("income", string_of_int (20_000 + Splitmix.int rng 80_000)) ]
+            ~children:
+              [
+                Elem.leaf "interest" (Text_pool.word rng);
+                Elem.leaf "education" "Graduate School";
+              ]
+            "profile";
+        ]
+    else base
+  in
+  let base =
+    if Splitmix.bool rng 0.6 then
+      let n = 1 + Splitmix.int rng 4 in
+      base
+      @ [
+          Elem.make
+            ~children:
+              (List.init n (fun k ->
+                   Elem.make
+                     ~attrs:[ ("open_auction", Printf.sprintf "open_auction%d" k) ]
+                     "watch"))
+            "watches";
+        ]
+    else base
+  in
+  Elem.make ~attrs:[ ("id", Printf.sprintf "person%d" id) ] ~children:base "person"
+
+let bidder rng =
+  Elem.make
+    ~children:
+      [
+        Elem.leaf "date" (Printf.sprintf "%02d/%02d/2001" (1 + Splitmix.int rng 12) (1 + Splitmix.int rng 28));
+        Elem.leaf "increase" (string_of_int (1 + Splitmix.int rng 50));
+      ]
+    "bidder"
+
+let open_auction rng id =
+  let bidders = List.init (Splitmix.int rng 6) (fun _ -> bidder rng) in
+  Elem.make
+    ~attrs:[ ("id", Printf.sprintf "open_auction%d" id) ]
+    ~children:
+      ([
+         Elem.leaf "initial" (string_of_int (1 + Splitmix.int rng 200));
+         Elem.leaf "reserve" (string_of_int (1 + Splitmix.int rng 300));
+       ]
+      @ bidders
+      @ [
+          Elem.leaf "current" (string_of_int (1 + Splitmix.int rng 500));
+          Elem.make ~attrs:[ ("item", Printf.sprintf "item%d" id) ] "itemref";
+          Elem.make ~attrs:[ ("person", Printf.sprintf "person%d" id) ] "seller";
+          description rng 0;
+        ])
+    "open_auction"
+
+let closed_auction rng id =
+  Elem.make
+    ~children:
+      [
+        Elem.make ~attrs:[ ("person", Printf.sprintf "person%d" id) ] "seller";
+        Elem.make ~attrs:[ ("person", Printf.sprintf "person%d" (id + 1)) ] "buyer";
+        Elem.make ~attrs:[ ("item", Printf.sprintf "item%d" id) ] "itemref";
+        Elem.leaf "price" (string_of_int (1 + Splitmix.int rng 500));
+        Elem.leaf "date" (Printf.sprintf "%02d/%02d/2001" (1 + Splitmix.int rng 12) (1 + Splitmix.int rng 28));
+      ]
+    "closed_auction"
+
+let generate ?(seed = 97) ?(scale = 1.0) () =
+  let rng = Splitmix.create seed in
+  let n_items = int_of_float (1000.0 *. scale) in
+  let n_people = int_of_float (600.0 *. scale) in
+  let n_open = int_of_float (300.0 *. scale) in
+  let n_closed = int_of_float (200.0 *. scale) in
+  let next_item = ref 0 in
+  let regions =
+    Elem.make
+      ~children:
+        (Array.to_list
+           (Array.map
+              (fun continent ->
+                let share = n_items / Array.length continents in
+                let items =
+                  List.init share (fun _ ->
+                      incr next_item;
+                      item rng !next_item)
+                in
+                Elem.make ~children:items continent)
+              continents))
+      "regions"
+  in
+  let people =
+    Elem.make ~children:(List.init n_people (person rng)) "people"
+  in
+  let opens =
+    Elem.make ~children:(List.init n_open (open_auction rng)) "open_auctions"
+  in
+  let closeds =
+    Elem.make ~children:(List.init n_closed (closed_auction rng)) "closed_auctions"
+  in
+  Elem.make ~children:[ regions; people; opens; closeds ] "site"

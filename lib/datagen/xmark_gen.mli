@@ -1,0 +1,14 @@
+(** XMark-shaped auction-site data set.
+
+    A compact stand-in for the XMark benchmark generator mentioned in
+    Sec. 5.1: a [site] document with [regions] (items per continent),
+    [people] (with optional profiles and watch lists), [open_auctions]
+    (with bidder histories) and [closed_auctions], plus recursive
+    [description]/[parlist]/[listitem] markup that provides tags with the
+    overlap property. *)
+
+open Xmlest_xmldb
+
+val generate : ?seed:int -> ?scale:float -> unit -> Elem.t
+(** [scale = 1.0] produces roughly 25k element nodes; node counts grow
+    linearly with [scale]. *)

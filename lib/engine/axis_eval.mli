@@ -1,0 +1,35 @@
+(** Set-at-a-time axis navigation over the interval-labeled store.
+
+    Evaluates one XPath-style location step: from a context node set,
+    follow an axis and keep the nodes satisfying a predicate.  All axes are
+    answered from the interval labels alone:
+
+    - descendants of [v] are the contiguous pre-order range
+      [v+1 .. subtree_last v];
+    - ancestors are the parent chain;
+    - [Following] of a set is everything starting after the {e smallest}
+      context end position, [Preceding] everything ending before the
+      {e largest} context start — so set-at-a-time evaluation costs the
+      same as single-node.
+
+    Results are distinct and in document order. *)
+
+open Xmlest_xmldb
+open Xmlest_query
+
+type axis =
+  | Self
+  | Child
+  | Parent
+  | Descendant  (** strict *)
+  | Ancestor  (** strict *)
+  | Following  (** starts after the context node ends *)
+  | Preceding  (** ends before the context node starts *)
+
+val step :
+  Document.t -> Document.node list -> axis -> Predicate.t -> Document.node list
+(** One location step from the context set. *)
+
+val eval : Document.t -> (axis * Predicate.t) list -> Document.node list
+(** A step sequence starting from the root context (node 0), e.g.
+    [[ (Descendant, Tag "faculty"); (Child, Tag "TA") ]]. *)

@@ -1,0 +1,13 @@
+(** Naive nested-loop structural join — the quadratic baseline used to
+    cross-check {!Structural_join} in tests and to contrast costs in the
+    benchmarks. *)
+
+open Xmlest_xmldb
+
+val count_pairs :
+  ?axis:[ `Descendant | `Child ] ->
+  Document.t ->
+  Document.node array ->
+  Document.node array ->
+  int
+(** Same contract as {!Structural_join.count_pairs}, O(|ancs| × |descs|). *)

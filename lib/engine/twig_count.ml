@@ -1,0 +1,65 @@
+open Xmlest_xmldb
+open Xmlest_query
+
+(* Sum of [arr] over the strict subtree of each node, via prefix sums:
+   subtree of [v] is the contiguous pre-order range [v+1 .. subtree_last v]. *)
+let strict_subtree_sums doc arr =
+  let n = Array.length arr in
+  let prefix = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    prefix.(v + 1) <- prefix.(v) + arr.(v)
+  done;
+  Array.init n (fun v ->
+      prefix.(Document.subtree_last doc v + 1) - prefix.(v + 1))
+
+(* Sum of [arr] over the children of each node: push each node's value into
+   its parent. *)
+let child_sums doc arr =
+  let n = Array.length arr in
+  let out = Array.make n 0 in
+  for v = n - 1 downto 1 do
+    let p = Document.parent doc v in
+    if p >= 0 then out.(p) <- out.(p) + arr.(v)
+  done;
+  out
+
+let match_counts doc pattern =
+  let n = Document.size doc in
+  let rec counts (p : Pattern.t) =
+    let edge_sums =
+      List.map
+        (fun (axis, child) ->
+          let child_counts = counts child in
+          match axis with
+          | Pattern.Descendant -> strict_subtree_sums doc child_counts
+          | Pattern.Child -> child_sums doc child_counts)
+        p.Pattern.edges
+    in
+    Array.init n (fun v ->
+        if Predicate.eval p.Pattern.pred doc v then
+          List.fold_left (fun acc sums -> acc * sums.(v)) 1 edge_sums
+        else 0)
+  in
+  counts pattern
+
+let count doc pattern = Array.fold_left ( + ) 0 (match_counts doc pattern)
+
+let is_document_root doc v =
+  if Document.has_dummy_root doc then Document.parent doc v = 0
+  else Document.parent doc v < 0
+
+let count_query doc (q : Pattern_parser.query) =
+  let per_node = match_counts doc q.Pattern_parser.root in
+  match q.Pattern_parser.anchor with
+  | Pattern.Descendant -> Array.fold_left ( + ) 0 per_node
+  | Pattern.Child ->
+    let total = ref 0 in
+    Array.iteri
+      (fun v c -> if c > 0 && is_document_root doc v then total := !total + c)
+      per_node;
+    !total
+
+let participation doc pattern =
+  Array.fold_left
+    (fun acc c -> if c > 0 then acc + 1 else acc)
+    0 (match_counts doc pattern)

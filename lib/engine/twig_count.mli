@@ -1,0 +1,33 @@
+(** Exact twig-match counting.
+
+    Counts the matches of a {!Pattern.t} in a document by dynamic
+    programming over the document: for each pattern node [q] (processed
+    bottom-up) and document node [v],
+
+    [matches q v] = (does [v] satisfy [q]'s predicate) ×
+    Π over edges [(axis, q')] of [q] of
+    (Σ over the [axis]-related nodes [u] of [v] of [matches q' u]).
+
+    Descendant sums are O(1) per node via prefix sums over the pre-order
+    node array (a subtree is a contiguous index range); child sums are
+    accumulated into parents in one reverse scan.  Total cost
+    O(|Q| · |T|). *)
+
+open Xmlest_xmldb
+open Xmlest_query
+
+val count : Document.t -> Pattern.t -> int
+(** Number of matches with the pattern root mapped to any document node. *)
+
+val count_query : Document.t -> Pattern_parser.query -> int
+(** Like {!count}, but a [Child] anchor restricts the pattern root to
+    document-root elements (nodes whose parent is the store root or that
+    are the store root themselves). *)
+
+val match_counts : Document.t -> Pattern.t -> int array
+(** Per-node match counts for the pattern root: entry [v] is the number of
+    matches mapping the root to [v].  {!count} is its sum. *)
+
+val participation : Document.t -> Pattern.t -> int
+(** Number of {e distinct} document nodes the pattern root maps to in at
+    least one match (i.e. nodes with a positive match count). *)

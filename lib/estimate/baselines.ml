@@ -1,0 +1,3 @@
+let naive ~anc_count ~desc_count = float_of_int anc_count *. float_of_int desc_count
+
+let descendant_upper_bound ~desc_count = float_of_int desc_count

@@ -1,0 +1,11 @@
+(** The estimation baselines the paper compares against (Tables 2 and 4).
+
+    - {!naive}: product of the two node counts — the only estimate
+      available without structural information;
+    - {!descendant_upper_bound}: the descendant node count — the best
+      schema-only estimate when the ancestor predicate has the no-overlap
+      property (each descendant joins at most one ancestor). *)
+
+val naive : anc_count:int -> desc_count:int -> float
+
+val descendant_upper_bound : desc_count:int -> float

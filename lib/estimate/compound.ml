@@ -1,0 +1,37 @@
+open Xmlest_histogram
+open Xmlest_query
+
+let rec estimate ?(disjoint_or = false) ~population ~base pred =
+  match base pred with
+  | Some h -> h
+  | None -> (
+    let recurse = estimate ~disjoint_or ~population ~base in
+    let normalized h =
+      Position_histogram.map2
+        (fun x pop -> if pop > 0.0 then x /. pop else 0.0)
+        h population
+    in
+    match pred with
+    | Predicate.True -> Position_histogram.copy population
+    | Predicate.And (a, b) ->
+      Position_histogram.map2 (fun x y -> x *. y) (normalized (recurse a)) (recurse b)
+    | Predicate.Or (a, b) ->
+      let ha = recurse a and hb = recurse b in
+      if disjoint_or || Predicate.disjoint a b then
+        Position_histogram.map2 ( +. ) ha hb
+      else begin
+        let overlap =
+          Position_histogram.map2 (fun x y -> x *. y) (normalized ha) hb
+        in
+        Position_histogram.map2 ( -. )
+          (Position_histogram.map2 ( +. ) ha hb)
+          overlap
+      end
+    | Predicate.Not a ->
+      Position_histogram.map2
+        (fun pop x -> Float.max 0.0 (pop -. x))
+        population (recurse a)
+    | leaf ->
+      invalid_arg
+        (Printf.sprintf "Compound.estimate: no base histogram for %s"
+           (Predicate.name leaf)))

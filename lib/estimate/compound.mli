@@ -1,0 +1,36 @@
+(** Histogram estimation for compound predicates (Sec. 3.4).
+
+    When a query predicate is a boolean combination of base predicates, its
+    position histogram is estimated cell by cell from the base histograms,
+    assuming independence within each grid cell.  The [TRUE] (population)
+    histogram supplies the per-cell normalization constant:
+
+    - [And]: count_A × count_B / population
+    - [Or]:  count_A + count_B − (count_A × count_B / population)
+    - [Not]: population − count_A
+
+    [base] is consulted {e first} for every sub-predicate (including
+    boolean ones): if the catalog holds a histogram for, say, the whole
+    predicate [year=1990] (an [And] of a tag and a content test — the
+    paper's per-year base predicates), that histogram is used directly and
+    no independence assumption is made.  Only sub-predicates the catalog
+    does not know are decomposed.
+
+    Disjunctions of predicates that provably select disjoint node sets
+    (different element tags, {!Xmlest_query.Predicate.disjoint}) are summed
+    outright.  For other disjoint predicates (e.g. the per-year predicates combined into the
+    paper's decade compounds), [Or] slightly underestimates the plain sum;
+    [estimate ~disjoint_or:true] adds the counts instead, which is what the
+    paper does for the 1980's / 1990's predicates. *)
+
+open Xmlest_histogram
+open Xmlest_query
+
+val estimate :
+  ?disjoint_or:bool ->
+  population:Position_histogram.t ->
+  base:(Predicate.t -> Position_histogram.t option) ->
+  Predicate.t ->
+  Position_histogram.t
+(** Estimate the histogram of a compound predicate.  Raises
+    [Invalid_argument] if a non-boolean leaf is not resolved by [base]. *)

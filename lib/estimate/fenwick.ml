@@ -1,0 +1,26 @@
+type t = { tree : float array; n : int }
+
+let create n = { tree = Array.make (n + 1) 0.0; n }
+
+let add t i v =
+  if i < 0 || i >= t.n then invalid_arg "Fenwick.add: index out of range";
+  let i = ref (i + 1) in
+  while !i <= t.n do
+    t.tree.(!i) <- t.tree.(!i) +. v;
+    i := !i + (!i land - !i)
+  done
+
+let prefix_sum t i =
+  let i = ref (min i (t.n - 1) + 1) in
+  let acc = ref 0.0 in
+  while !i > 0 do
+    acc := !acc +. t.tree.(!i);
+    i := !i - (!i land - !i)
+  done;
+  !acc
+
+let range_sum t ~lo ~hi =
+  if hi < lo then 0.0
+  else prefix_sum t hi -. (if lo > 0 then prefix_sum t (lo - 1) else 0.0)
+
+let total t = prefix_sum t (t.n - 1)

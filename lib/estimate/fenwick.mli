@@ -1,0 +1,17 @@
+(** Fenwick (binary indexed) tree over float sums — the dominance-sum
+    workhorse behind the sparse pH-join. *)
+
+type t
+
+val create : int -> t
+(** [create n] supports indices [0 .. n-1], all initially 0. *)
+
+val add : t -> int -> float -> unit
+
+val prefix_sum : t -> int -> float
+(** Sum of entries at indices [<= i]; 0 for negative [i]. *)
+
+val range_sum : t -> lo:int -> hi:int -> float
+(** Sum over [lo .. hi] inclusive; 0 when the range is empty. *)
+
+val total : t -> float

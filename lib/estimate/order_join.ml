@@ -1,0 +1,25 @@
+open Xmlest_histogram
+
+let estimate ~before ~after () =
+  if
+    not
+      (Grid.compatible
+         (Position_histogram.grid before)
+         (Position_histogram.grid after))
+  then invalid_arg "Order_join.estimate: histograms have incompatible grids";
+  let grid = Position_histogram.grid before in
+  let g = grid.Grid.size in
+  (* Bucket the "after" nodes by start bucket, then build suffix sums so
+     that each "before" cell (i, j) can read, in O(1), the count of after
+     nodes starting strictly past bucket j, plus the same-bucket mass. *)
+  let by_start = Array.make g 0.0 in
+  Position_histogram.iter_nonzero after (fun ~i ~j:_ v ->
+      by_start.(i) <- by_start.(i) +. v);
+  let suffix = Array.make (g + 1) 0.0 in
+  for k = g - 1 downto 0 do
+    suffix.(k) <- suffix.(k + 1) +. by_start.(k)
+  done;
+  let total = ref 0.0 in
+  Position_histogram.iter_nonzero before (fun ~i:_ ~j v ->
+      total := !total +. (v *. (suffix.(j + 1) +. (0.5 *. by_start.(j)))));
+  !total

@@ -1,0 +1,23 @@
+(** Estimation for ordered (document-order) relationships — the "queries
+    with ordered semantics" the paper defers to its tech report (Sec. 7).
+
+    [u] {e precedes} [v] (XPath [following]) iff [end u < start v]: the two
+    intervals are disjoint with [u] entirely to the left.  At cell
+    granularity this is a one-dimensional comparison between [u]'s
+    end-bucket and [v]'s start-bucket:
+
+    - end-bucket < start-bucket: every pair qualifies (weight 1);
+    - equal buckets: both endpoints are uniform within the bucket, so half
+      the pairs qualify (weight 1/2);
+    - otherwise: none.
+
+    With one position per bucket the weights are exact 0/1 indicators, so
+    the estimate equals the true count (property-tested). *)
+
+open Xmlest_histogram
+
+val estimate :
+  before:Position_histogram.t -> after:Position_histogram.t -> unit -> float
+(** Estimated number of pairs (u, v) with u satisfying the [before]
+    predicate, v the [after] predicate, and u entirely preceding v.
+    O(g²) over the grid (O(k + g) over non-zero cells internally). *)

@@ -1,0 +1,77 @@
+(** The pH-join primitive estimation algorithm (Sec. 3.2, Figs. 6 and 9).
+
+    Given position histograms for an ancestor predicate P1 and a descendant
+    predicate P2, estimates the number of node pairs [(u, v)] with [u]
+    satisfying P1, [v] satisfying P2 and [u] an ancestor of [v].
+
+    Cell weighting (ancestor-based, for ancestor cell [(i, j)], following
+    the pseudo-code of Fig. 9):
+    - descendant cells strictly inside ([i < k <= l < j]): weight 1;
+    - same start-bucket column ([k = i], [i < l < j]) and same end-bucket
+      row ([l = j], [i < k <= j]): weight 1, except the diagonal corner
+      cells [(i, i)] and [(j, j)] which weigh 1/2;
+    - the same off-diagonal cell: 1/4; an on-diagonal ancestor cell joins
+      only with its own cell, weight 1/12.
+
+    The descendant-based variant weighs every ancestor cell strictly
+    up-left (and the shared column/row, which legality arguments make
+    certain) with 1 and the shared cell with 1/4 (1/12 on-diagonal).
+
+    Each variant runs in three passes over the grid, O(g²) total, and also
+    yields the per-cell estimate histogram needed for twig composition. *)
+
+open Xmlest_histogram
+
+type direction = Ancestor_based | Descendant_based
+
+val descendant_coefficients : Position_histogram.t -> float array
+(** [descendant_coefficients histP2] gives, per cell [(i, j)], the expected
+    number of P2-descendants of a node in that cell (dense row-major
+    array) — Fig. 9's precomputable multiplicative coefficients. *)
+
+val ancestor_coefficients : Position_histogram.t -> float array
+(** Symmetric: expected number of P1-ancestors of a node per cell. *)
+
+val cell_pair_weight :
+  ?direction:direction ->
+  anc:int * int ->
+  desc:int * int ->
+  unit ->
+  float
+(** The weight Fig. 9 assigns to a single (ancestor cell, descendant cell)
+    pair: the expected number of joined pairs contributed per (ancestor
+    node, descendant node) couple drawn from those cells.  Summing
+    [weight × count_anc × count_desc] over all cell pairs reproduces
+    {!estimate} (verified in the test suite); exposed for estimators that
+    need per-pair adjustments, e.g. {!Child_join}. *)
+
+val estimate :
+  ?direction:direction ->
+  anc:Position_histogram.t ->
+  desc:Position_histogram.t ->
+  unit ->
+  float
+(** Total estimated join size.  Default direction: [Ancestor_based]. *)
+
+val estimate_sparse :
+  ?direction:direction ->
+  anc:Position_histogram.t ->
+  desc:Position_histogram.t ->
+  unit ->
+  float
+(** Same value as {!estimate} (verified by property tests), computed from
+    the non-zero cells only: with k non-zero cells per histogram the cost
+    is O(k log k) instead of the dense O(g²) passes.  Since Theorem 1
+    bounds k by O(g), this realizes the paper's claim that estimation time
+    grows linearly with grid size. *)
+
+val estimate_cells :
+  ?direction:direction ->
+  anc:Position_histogram.t ->
+  desc:Position_histogram.t ->
+  unit ->
+  Position_histogram.t
+(** Per-cell estimate histogram: with [Ancestor_based] the estimate is
+    attributed to the ancestor's cell; with [Descendant_based] to the
+    descendant's cell.  Its {!Position_histogram.total} equals
+    {!estimate}. *)

@@ -1,0 +1,78 @@
+(** Answer-size estimation for arbitrary twig patterns.
+
+    Composes pairwise pH-joins (or no-overlap coverage joins) bottom-up
+    along the pattern tree, maintaining for each partially-assembled
+    sub-twig a {e view} keyed at its root predicate, per Fig. 10:
+
+    - a participation histogram (estimated count, per grid cell, of
+      distinct nodes that take part in at least one sub-twig match), and
+    - a per-cell join factor (matches per participating node),
+
+    so that the sub-twig's match count is [Σ participation × join-factor].
+    Joining a view with a child view updates both: via the balls-in-bins
+    saturation formula (case 2) when the ancestor predicate has the
+    no-overlap property, or by the paper's case-1 rule
+    ([participation := estimate], join factor 1) otherwise.
+
+    Parent-child edges are estimated as ancestor-descendant edges by
+    default (the paper's scope).  Two extensions are available per
+    {!child_mode}: scaling a [Child] edge by the global fraction of
+    ancestor-descendant level pairs that are parent-child
+    ({!Level_histogram}), or — sharper — re-weighting every cell pair by
+    its own level-adjacency fraction ({!Child_join}, requires
+    {!Level_position_histogram}s). *)
+
+open Xmlest_histogram
+
+open Xmlest_query
+
+type catalog = {
+  hist : Predicate.t -> Position_histogram.t;
+      (** position histogram of a (possibly compound) predicate *)
+  coverage : Predicate.t -> Coverage_histogram.t option;
+      (** coverage histogram, for predicates with the no-overlap property *)
+  level : Predicate.t -> Level_histogram.t option;
+      (** level histogram, for [Level_scaled] child edges *)
+  position_levels : Predicate.t -> Level_position_histogram.t option;
+      (** per-cell level histogram, for [Cell_level_scaled] child edges *)
+}
+
+type child_mode =
+  | As_descendant  (** treat [/] as [//] — the paper's behavior *)
+  | Level_scaled  (** scale the edge by the global level-adjacency fraction *)
+  | Cell_level_scaled
+      (** per-cell-pair level correction via {!Child_join}; falls back to
+          [Level_scaled] when the needed histograms are missing or the
+          edge uses the coverage path *)
+
+type options = {
+  direction : Ph_join.direction;  (** direction of primitive (overlap) joins *)
+  use_no_overlap : bool;  (** consult coverage histograms (Sec. 4) *)
+  child_mode : child_mode;  (** how to estimate parent-child edges *)
+}
+
+val default_options : options
+(** Ancestor-based, no-overlap enabled, [As_descendant] child edges (the
+    paper's configuration). *)
+
+val estimate : ?options:options -> catalog -> Pattern.t -> float
+(** Estimated number of matches of the pattern. *)
+
+type step = {
+  subtwig : string;  (** rendering of the sub-twig assembled so far *)
+  method_used : string;  (** "pH-join", "coverage", "child-cell-level", ... *)
+  estimate : float;  (** estimated match count after this join *)
+}
+
+val estimate_trace :
+  ?options:options -> catalog -> Pattern.t -> float * step list
+(** Like {!estimate}, also returning one record per pairwise join in
+    evaluation order — the estimator's "explain" output. *)
+
+val estimate_pair :
+  ?options:options ->
+  catalog ->
+  anc:Predicate.t ->
+  desc:Predicate.t ->
+  float
+(** Two-node convenience wrapper (the simple queries of Tables 2 and 4). *)

@@ -1,0 +1,143 @@
+open Xmlest_xmldb
+open Xmlest_query
+
+type t = {
+  grid : Grid.t;
+  (* covered cell index -> list of (covering cell index, fraction),
+     fractions relative to the covered cell's population *)
+  covers : (int * float) array array;
+  populations : float array;  (* TRUE-histogram count per cell *)
+  total_cvg : float array;
+}
+
+let grid t = t.grid
+
+let build doc ~grid pred =
+  let n = Document.size doc in
+  (* Nearest strict P-ancestor per node, computed top-down in pre-order. *)
+  let nearest = Array.make n (-1) in
+  for v = 0 to n - 1 do
+    let p = Document.parent doc v in
+    if p >= 0 then
+      nearest.(v) <- (if Predicate.eval pred doc p then p else nearest.(p))
+  done;
+  let cells = Grid.cells grid in
+  let populations = Array.make cells 0.0 in
+  let counts = Array.make cells [] in
+  let cell_of v =
+    let i, j =
+      Grid.cell_of_node grid ~start_pos:(Document.start_pos doc v)
+        ~end_pos:(Document.end_pos doc v)
+    in
+    Grid.index grid ~i ~j
+  in
+  for v = 0 to n - 1 do
+    let c = cell_of v in
+    populations.(c) <- populations.(c) +. 1.0;
+    if nearest.(v) >= 0 then begin
+      let anc_cell = cell_of nearest.(v) in
+      counts.(c) <-
+        (match counts.(c) with
+        | (m, k) :: rest when m = anc_cell -> (m, k +. 1.0) :: rest
+        | l -> (anc_cell, 1.0) :: l)
+    end
+  done;
+  let covers =
+    Array.mapi
+      (fun c lst ->
+        (* Merge duplicate covering cells (the run-length shortcut above
+           only merges consecutive hits). *)
+        let tbl = Hashtbl.create 8 in
+        List.iter
+          (fun (m, k) ->
+            let cur = try Hashtbl.find tbl m with Not_found -> 0.0 in
+            Hashtbl.replace tbl m (cur +. k))
+          lst;
+        let pop = populations.(c) in
+        Hashtbl.fold (fun m k acc -> (m, k /. pop) :: acc) tbl []
+        |> List.sort compare |> Array.of_list)
+      counts
+  in
+  let total_cvg =
+    Array.map (fun arr -> Array.fold_left (fun acc (_, f) -> acc +. f) 0.0 arr) covers
+  in
+  { grid; covers; populations; total_cvg }
+
+let coverage t ~i ~j ~m ~n =
+  let c = Grid.index t.grid ~i ~j in
+  let target = Grid.index t.grid ~i:m ~j:n in
+  let arr = t.covers.(c) in
+  let rec find k =
+    if k >= Array.length arr then 0.0
+    else begin
+      let cell, f = arr.(k) in
+      if cell = target then f else find (k + 1)
+    end
+  in
+  find 0
+
+let total_coverage t ~i ~j = t.total_cvg.(Grid.index t.grid ~i ~j)
+
+let iter_covers t ~i ~j f =
+  let g = t.grid.Grid.size in
+  Array.iter
+    (fun (cell, frac) -> f ~m:(cell / g) ~n:(cell mod g) frac)
+    t.covers.(Grid.index t.grid ~i ~j)
+
+let cell_population t ~i ~j = t.populations.(Grid.index t.grid ~i ~j)
+
+let entries t =
+  Array.fold_left (fun acc arr -> acc + Array.length arr) 0 t.covers
+
+let partial_entries t =
+  Array.fold_left
+    (fun acc arr ->
+      Array.fold_left
+        (fun acc (_, f) -> if f > 0.0 && f < 1.0 then acc + 1 else acc)
+        acc arr)
+    0 t.covers
+
+let bytes_per_entry = 10
+
+let storage_bytes t = bytes_per_entry * entries t
+
+let pp ppf t =
+  let g = t.grid.Grid.size in
+  Array.iteri
+    (fun c arr ->
+      if Array.length arr > 0 then begin
+        Format.fprintf ppf "(%d,%d) covered by:" (c / g) (c mod g);
+        Array.iter
+          (fun (cell, f) ->
+            Format.fprintf ppf " (%d,%d)=%.3f" (cell / g) (cell mod g) f)
+          arr;
+        Format.fprintf ppf "@."
+      end)
+    t.covers
+
+let fold_entries t ~init ~f =
+  let acc = ref init in
+  Array.iteri
+    (fun covered arr ->
+      Array.iter (fun (covering, frac) -> acc := f !acc ~covered ~covering frac) arr)
+    t.covers;
+  !acc
+
+let populations t = Array.copy t.populations
+
+let of_parts ~grid ~populations ~entries =
+  let cells = Grid.cells grid in
+  if Array.length populations <> cells then
+    invalid_arg "Coverage_histogram.of_parts: population array length mismatch";
+  let buckets = Array.make cells [] in
+  List.iter
+    (fun (covered, covering, frac) ->
+      if covered < 0 || covered >= cells || covering < 0 || covering >= cells then
+        invalid_arg "Coverage_histogram.of_parts: cell index out of range";
+      buckets.(covered) <- (covering, frac) :: buckets.(covered))
+    entries;
+  let covers = Array.map (fun l -> Array.of_list (List.sort compare l)) buckets in
+  let total_cvg =
+    Array.map (fun arr -> Array.fold_left (fun acc (_, f) -> acc +. f) 0.0 arr) covers
+  in
+  { grid; covers; populations = Array.copy populations; total_cvg }

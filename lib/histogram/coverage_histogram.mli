@@ -1,0 +1,71 @@
+(** Coverage histograms for no-overlap predicates (Sec. 4.2).
+
+    For predicate P (whose satisfying nodes do not nest), the coverage
+    [Cvg_P\[i\]\[j\]\[m\]\[n\]] is the fraction of {e all} nodes in grid
+    cell [(i, j)] that are descendants of some P-node lying in grid cell
+    [(m, n)].  Because P-nodes are disjoint, a node has at most one P
+    ancestor, so fractions for distinct [(m, n)] add up to the cell's total
+    covered fraction.
+
+    Only cells along the "border" of a P-node's region have fractional
+    coverage — Theorem 2 bounds the number of partial (strictly between 0
+    and 1) entries by O(g); the test suite verifies this. *)
+
+open Xmlest_xmldb
+open Xmlest_query
+
+type t
+
+val build : Document.t -> grid:Grid.t -> Predicate.t -> t
+(** Build by a single pass over the document, assigning every node to the
+    cell of its nearest P-ancestor (if any).  Intended for predicates with
+    the no-overlap property; if P-nodes do nest, the innermost P ancestor
+    is used and the result is a best-effort approximation. *)
+
+val grid : t -> Grid.t
+
+val coverage : t -> i:int -> j:int -> m:int -> n:int -> float
+(** Fraction of cell [(i, j)]'s population covered by P-nodes in cell
+    [(m, n)]. *)
+
+val total_coverage : t -> i:int -> j:int -> float
+(** Fraction of cell [(i, j)]'s population covered by any P-node. *)
+
+val iter_covers : t -> i:int -> j:int -> (m:int -> n:int -> float -> unit) -> unit
+(** Iterate the non-zero covering cells of [(i, j)]. *)
+
+val cell_population : t -> i:int -> j:int -> float
+(** Total number of document nodes in cell [(i, j)] (the TRUE histogram
+    count used as the fraction denominator). *)
+
+val entries : t -> int
+(** Stored (covered cell, covering cell) pairs with non-zero fraction. *)
+
+val partial_entries : t -> int
+(** Entries whose fraction is strictly between 0 and 1 (Theorem 2: O(g)). *)
+
+val storage_bytes : t -> int
+(** {!bytes_per_entry} bytes per stored entry. *)
+
+val bytes_per_entry : int
+
+val pp : Format.formatter -> t -> unit
+
+(** {2 Persistence support} *)
+
+val fold_entries :
+  t -> init:'a -> f:('a -> covered:int -> covering:int -> float -> 'a) -> 'a
+(** Fold over all stored (covered cell, covering cell, fraction) triples;
+    cells are dense row-major indices. *)
+
+val populations : t -> float array
+(** Copy of the per-cell population counts (dense). *)
+
+val of_parts :
+  grid:Grid.t ->
+  populations:float array ->
+  entries:(int * int * float) list ->
+  t
+(** Rebuild from persisted parts: [(covered, covering, fraction)] triples
+    with dense cell indices.  Raises [Invalid_argument] on a population
+    array of the wrong length or out-of-range cell indices. *)

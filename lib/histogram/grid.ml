@@ -1,0 +1,105 @@
+type t = {
+  size : int;
+  max_pos : int;
+  boundaries : int array;
+  uniform_width : int option;
+}
+
+let check_size ~fn ~size ~max_pos =
+  if size <= 0 then invalid_arg (fn ^ ": size must be positive");
+  if max_pos < 0 then invalid_arg (fn ^ ": max_pos must be non-negative");
+  if size > max_pos + 1 then
+    invalid_arg
+      (Printf.sprintf "%s: size %d exceeds the %d available positions" fn size
+         (max_pos + 1))
+
+let create ~size ~max_pos =
+  check_size ~fn:"Grid.create" ~size ~max_pos;
+  let cell_width = (max_pos + 1 + size - 1) / size in
+  let boundaries =
+    Array.init (size + 1) (fun i -> min (i * cell_width) (max_pos + 1))
+  in
+  (* The last boundary is forced to cover the whole range even when
+     size * width overshoots. *)
+  boundaries.(size) <- max_pos + 1;
+  { size; max_pos; boundaries; uniform_width = Some cell_width }
+
+let equidepth ~size ~max_pos ~positions =
+  check_size ~fn:"Grid.equidepth" ~size ~max_pos;
+  let n = Array.length positions in
+  let boundaries = Array.make (size + 1) 0 in
+  boundaries.(size) <- max_pos + 1;
+  for i = 1 to size - 1 do
+    let quantile = if n = 0 then 0 else positions.(min (n - 1) (i * n / size)) in
+    (* Boundaries must stay strictly increasing and leave room for the
+       remaining buckets; clamp between the previous boundary + 1 and the
+       highest value that still allows one position per remaining bucket. *)
+    let lo = boundaries.(i - 1) + 1 in
+    let hi = max_pos + 1 - (size - i) in
+    boundaries.(i) <- max lo (min quantile hi)
+  done;
+  { size; max_pos; boundaries; uniform_width = None }
+
+let of_boundaries boundaries =
+  let n = Array.length boundaries in
+  if n < 2 then invalid_arg "Grid.of_boundaries: need at least two boundaries";
+  if boundaries.(0) <> 0 then invalid_arg "Grid.of_boundaries: must start at 0";
+  for i = 0 to n - 2 do
+    if boundaries.(i) >= boundaries.(i + 1) then
+      invalid_arg "Grid.of_boundaries: boundaries must be strictly increasing"
+  done;
+  {
+    size = n - 1;
+    max_pos = boundaries.(n - 1) - 1;
+    boundaries = Array.copy boundaries;
+    uniform_width = None;
+  }
+
+let bucket t pos =
+  if pos < 0 || pos > t.max_pos then
+    invalid_arg
+      (Printf.sprintf "Grid.bucket: position %d outside [0, %d]" pos t.max_pos);
+  match t.uniform_width with
+  | Some w -> min (pos / w) (t.size - 1)
+  | None ->
+    (* Largest i with boundaries.(i) <= pos. *)
+    let lo = ref 0 and hi = ref t.size in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if t.boundaries.(mid) <= pos then lo := mid else hi := mid
+    done;
+    !lo
+
+let bucket_bounds t i =
+  if i < 0 || i >= t.size then invalid_arg "Grid.bucket_bounds: bucket out of range";
+  (t.boundaries.(i), t.boundaries.(i + 1) - 1)
+
+let cell_of_node t ~start_pos ~end_pos = (bucket t start_pos, bucket t end_pos)
+
+let cells t = t.size * t.size
+
+let index t ~i ~j = (i * t.size) + j
+
+let on_diagonal ~i ~j = i = j
+
+let is_uniform t = t.uniform_width <> None
+
+let compatible a b =
+  a.size = b.size
+  &&
+  match (a.uniform_width, b.uniform_width) with
+  | Some wa, Some wb -> wa = wb
+  | None, None | Some _, None | None, Some _ -> a.boundaries = b.boundaries
+
+let iter_upper t f =
+  for i = 0 to t.size - 1 do
+    for j = i to t.size - 1 do
+      f ~i ~j
+    done
+  done
+
+let pp ppf t =
+  Format.fprintf ppf "grid %d over [0,%d] %s" t.size t.max_pos
+    (match t.uniform_width with
+    | Some w -> Printf.sprintf "(uniform, width %d)" w
+    | None -> "(equi-depth)")

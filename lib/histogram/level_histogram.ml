@@ -1,0 +1,44 @@
+open Xmlest_xmldb
+open Xmlest_query
+
+type t = { counts : float array }
+
+let build doc pred =
+  let nodes = Predicate.matching_nodes doc pred in
+  let max_level =
+    Array.fold_left (fun acc v -> max acc (Document.level doc v)) 0 nodes
+  in
+  let counts = Array.make (max_level + 1) 0.0 in
+  Array.iter
+    (fun v ->
+      let l = Document.level doc v in
+      counts.(l) <- counts.(l) +. 1.0)
+    nodes;
+  { counts }
+
+let count_at t l = if l >= 0 && l < Array.length t.counts then t.counts.(l) else 0.0
+
+let max_level t = Array.length t.counts - 1
+
+let total t = Array.fold_left ( +. ) 0.0 t.counts
+
+let child_fraction ~anc ~desc =
+  let pairs_all = ref 0.0 and pairs_child = ref 0.0 in
+  for la = 0 to max_level anc do
+    let ca = count_at anc la in
+    if ca > 0.0 then
+      for ld = la + 1 to max_level desc do
+        let cd = count_at desc ld in
+        pairs_all := !pairs_all +. (ca *. cd);
+        if ld = la + 1 then pairs_child := !pairs_child +. (ca *. cd)
+      done
+  done;
+  if !pairs_all <= 0.0 then 1.0 else !pairs_child /. !pairs_all
+
+let storage_bytes t =
+  4 * Array.fold_left (fun acc c -> if c <> 0.0 then acc + 1 else acc) 0 t.counts
+
+let counts t = Array.copy t.counts
+
+let of_counts counts =
+  { counts = (if Array.length counts = 0 then [| 0.0 |] else Array.copy counts) }

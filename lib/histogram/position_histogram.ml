@@ -1,0 +1,117 @@
+open Xmlest_xmldb
+open Xmlest_query
+
+type t = { grid : Grid.t; counts : float array; mutable total : float }
+
+let create_empty grid = { grid; counts = Array.make (Grid.cells grid) 0.0; total = 0.0 }
+
+let grid t = t.grid
+
+let get t ~i ~j = t.counts.(Grid.index t.grid ~i ~j)
+
+let set t ~i ~j v =
+  let idx = Grid.index t.grid ~i ~j in
+  t.total <- t.total -. t.counts.(idx) +. v;
+  t.counts.(idx) <- v
+
+let add t ~i ~j v =
+  let idx = Grid.index t.grid ~i ~j in
+  t.counts.(idx) <- t.counts.(idx) +. v;
+  t.total <- t.total +. v
+
+let total t = t.total
+
+let of_nodes doc ~grid nodes =
+  let t = create_empty grid in
+  Array.iter
+    (fun v ->
+      let i, j =
+        Grid.cell_of_node grid ~start_pos:(Document.start_pos doc v)
+          ~end_pos:(Document.end_pos doc v)
+      in
+      add t ~i ~j 1.0)
+    nodes;
+  t
+
+let build doc ~grid pred = of_nodes doc ~grid (Predicate.matching_nodes doc pred)
+
+let population doc ~grid =
+  let t = create_empty grid in
+  Document.iter doc (fun v ->
+      let i, j =
+        Grid.cell_of_node grid ~start_pos:(Document.start_pos doc v)
+          ~end_pos:(Document.end_pos doc v)
+      in
+      add t ~i ~j 1.0);
+  t
+
+let copy t = { grid = t.grid; counts = Array.copy t.counts; total = t.total }
+
+let map2 f a b =
+  if not (Grid.compatible a.grid b.grid) then
+    invalid_arg "Position_histogram.map2: incompatible grids";
+  let counts = Array.map2 f a.counts b.counts in
+  { grid = a.grid; counts; total = Array.fold_left ( +. ) 0.0 counts }
+
+let scale t k =
+  { grid = t.grid; counts = Array.map (fun v -> v *. k) t.counts; total = t.total *. k }
+
+let iter_nonzero t f =
+  let g = t.grid.Grid.size in
+  for i = 0 to g - 1 do
+    for j = i to g - 1 do
+      let v = t.counts.(Grid.index t.grid ~i ~j) in
+      if v <> 0.0 then f ~i ~j v
+    done
+  done
+
+let nonzero_cells t =
+  let n = ref 0 in
+  iter_nonzero t (fun ~i:_ ~j:_ _ -> incr n);
+  !n
+
+let bytes_per_cell = 6
+
+let storage_bytes t = bytes_per_cell * nonzero_cells t
+
+let obeys_lemma1 t =
+  let cells = ref [] in
+  iter_nonzero t (fun ~i ~j _ -> cells := (i, j) :: !cells);
+  let forbidden (i, j) (k, l) =
+    (i < k && k < j && j < l) || (i < l && l < j && k < i)
+  in
+  List.for_all
+    (fun a -> List.for_all (fun b -> not (forbidden a b)) !cells)
+    !cells
+
+let pp ppf t =
+  iter_nonzero t (fun ~i ~j v -> Format.fprintf ppf "(%d,%d): %g@." i j v)
+
+let pp_heatmap ppf t =
+  let g = t.grid.Grid.size in
+  let max_count =
+    Array.fold_left (fun acc v -> Float.max acc v) 0.0 t.counts
+  in
+  Format.fprintf ppf "start\\end 0..%d (total %g)@." (g - 1) t.total;
+  for i = 0 to g - 1 do
+    Format.fprintf ppf "%3d " i;
+    for j = 0 to g - 1 do
+      let ch =
+        if j < i then ' '
+        else begin
+          let v = t.counts.(Grid.index t.grid ~i ~j) in
+          if v = 0.0 then '-'
+          else if max_count <= 0.0 then '.'
+          else begin
+            let share = v /. t.total in
+            if share >= 0.10 then '#'
+            else if share >= 0.03 then 'O'
+            else if share >= 0.01 then 'o'
+            else '.'
+          end
+        end
+      in
+      Format.pp_print_char ppf ch
+    done;
+    Format.pp_print_newline ppf ()
+  done

@@ -1,0 +1,65 @@
+(** Position histograms (Sec. 3.1) — the paper's central summary structure.
+
+    For a predicate P, cell [(i, j)] counts the nodes satisfying P whose
+    start position falls in bucket [i] and end position in bucket [j].
+    Counts are stored as floats so that derived histograms (compound
+    predicates, intermediate twig estimates) fit the same type.
+
+    By Lemma 1 the populated cells of a real data histogram form a sparse
+    "staircase": a non-zero cell [(i, j)] forbids cells strictly inside and
+    strictly outside its interval band, which bounds the number of non-zero
+    cells by O(g) (Theorem 1, verified in the test suite). *)
+
+open Xmlest_xmldb
+open Xmlest_query
+
+type t
+
+val build : Document.t -> grid:Grid.t -> Predicate.t -> t
+(** Histogram of the nodes satisfying the predicate. *)
+
+val of_nodes : Document.t -> grid:Grid.t -> Document.node array -> t
+
+val population : Document.t -> grid:Grid.t -> t
+(** Histogram of the predicate [TRUE] (every node) — the normalization
+    base for compound-predicate estimation (Sec. 3.4). *)
+
+val create_empty : Grid.t -> t
+
+val grid : t -> Grid.t
+val get : t -> i:int -> j:int -> float
+val set : t -> i:int -> j:int -> float -> unit
+val add : t -> i:int -> j:int -> float -> unit
+val total : t -> float
+
+val copy : t -> t
+
+val map2 : (float -> float -> float) -> t -> t -> t
+(** Cellwise combination; grids must be compatible. *)
+
+val scale : t -> float -> t
+
+val iter_nonzero : t -> (i:int -> j:int -> float -> unit) -> unit
+
+val nonzero_cells : t -> int
+(** Number of cells with a non-zero count (Theorem 1 says O(g)). *)
+
+val storage_bytes : t -> int
+(** Sparse storage footprint: {!bytes_per_cell} bytes per non-zero cell
+    (two 2-byte bucket coordinates + a 2-byte count), matching the
+    accounting behind Figs. 11-12. *)
+
+val bytes_per_cell : int
+
+val obeys_lemma1 : t -> bool
+(** Check Lemma 1: a non-zero cell [(i, j)] implies zero counts at every
+    [(k, l)] with [i < k <= j < l] (strictly straddling the end boundary)
+    or [k < i <= l < j] (straddling the start boundary). *)
+
+val pp : Format.formatter -> t -> unit
+(** Render non-zero cells as [(i,j): count] lines. *)
+
+val pp_heatmap : Format.formatter -> t -> unit
+(** ASCII density plot of the grid: rows are start buckets, columns end
+    buckets; [.]/[o]/[O]/[#] mark increasing shares of the total count
+    ([#] >= 10%). *)

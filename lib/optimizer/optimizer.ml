@@ -1,0 +1,37 @@
+open Xmlest_estimate
+
+type costed = {
+  plan : Plan.t;
+  cost : float;
+  intermediates : float list;
+}
+
+let drop_last l =
+  match List.rev l with [] -> [] | _ :: rest -> List.rev rest
+
+let rank ?options catalog pattern =
+  let plans = Plan.enumerate pattern in
+  let costed =
+    List.map
+      (fun plan ->
+        let intermediates =
+          List.map (Twig_estimator.estimate ?options catalog) plan.Plan.prefixes
+        in
+        let cost = List.fold_left ( +. ) 0.0 (drop_last intermediates) in
+        { plan; cost; intermediates })
+      plans
+  in
+  List.sort (fun a b -> Float.compare a.cost b.cost) costed
+
+let best ?options catalog pattern =
+  if Xmlest_query.Pattern.edge_count pattern = 0 then
+    invalid_arg "Optimizer.best: pattern has no join plans";
+  match rank ?options catalog pattern with
+  | [] -> invalid_arg "Optimizer.best: pattern has no join plans"
+  | p :: _ -> p
+
+let actual_intermediates doc plan =
+  List.map (Xmlest_engine.Twig_count.count doc) plan.Plan.prefixes
+
+let actual_cost doc plan =
+  List.fold_left ( + ) 0 (drop_last (actual_intermediates doc plan))

@@ -1,0 +1,97 @@
+open Xmlest_query
+
+type t = { order : int list; prefixes : Pattern.t list }
+
+let flatten = Pattern.flatten
+
+let node_count pattern = Pattern.size pattern
+
+let node_predicate pattern id =
+  let f = flatten pattern in
+  if id < 0 || id >= Array.length f.Pattern.preds then
+    invalid_arg "Plan.node_predicate: id out of range";
+  f.Pattern.preds.(id)
+
+let induced_flat f ids =
+  match ids with
+  | [] -> None
+  | _ ->
+    let in_set = Array.make (Array.length f.Pattern.preds) false in
+    List.iter (fun id -> in_set.(id) <- true) ids;
+    (* Nearest proper ancestor within the set; also note whether the
+       original parent is in the set (axis preserved). *)
+    let nearest id =
+      let rec walk v =
+        if v < 0 then None
+        else if in_set.(v) then Some v
+        else walk f.Pattern.parents.(v)
+      in
+      walk f.Pattern.parents.(id)
+    in
+    let roots = List.filter (fun id -> nearest id = None) ids in
+    (match roots with
+    | [ root ] ->
+      let children = Hashtbl.create 8 in
+      List.iter
+        (fun id ->
+          match nearest id with
+          | None -> ()
+          | Some p ->
+            let axis =
+              if f.Pattern.parents.(id) = p then f.Pattern.axes.(id) else Pattern.Descendant
+            in
+            let cur = try Hashtbl.find children p with Not_found -> [] in
+            Hashtbl.replace children p ((axis, id) :: cur))
+        ids;
+      let rec build id =
+        let edges =
+          (try Hashtbl.find children id with Not_found -> [])
+          |> List.sort (fun (_, a) (_, b) -> compare a b)
+          |> List.map (fun (axis, c) -> (axis, build c))
+        in
+        Pattern.node ~edges f.Pattern.preds.(id)
+      in
+      Some (build root)
+    | _ -> None)
+
+let induced pattern ids = induced_flat (flatten pattern) ids
+
+let enumerate pattern =
+  let f = flatten pattern in
+  let n = Array.length f.Pattern.preds in
+  let all = List.init n Fun.id in
+  let plans = ref [] in
+  let rec extend chosen remaining =
+    match remaining with
+    | [] ->
+      let order = List.rev chosen in
+      let arr = Array.of_list order in
+      let prefixes =
+        List.init
+          (max 0 (n - 1))
+          (fun k ->
+            let ids = Array.to_list (Array.sub arr 0 (k + 2)) in
+            match induced_flat f ids with Some p -> p | None -> assert false)
+      in
+      plans := { order; prefixes } :: !plans
+    | _ ->
+      List.iter
+        (fun v ->
+          let candidate = v :: chosen in
+          let connected =
+            List.length candidate = 1
+            || induced_flat f candidate <> None
+          in
+          if connected then
+            extend candidate (List.filter (fun u -> u <> v) remaining))
+        remaining
+  in
+  extend [] all;
+  List.rev !plans
+
+let pp ppf t =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       Format.pp_print_int)
+    t.order

@@ -1,0 +1,172 @@
+type query = { anchor : Pattern.axis; root : Pattern.t }
+
+(* Recursive-descent parser over a string cursor. *)
+type cursor = { input : string; mutable pos : int }
+
+let fail c msg =
+  failwith (Printf.sprintf "query parse error at offset %d: %s" c.pos msg)
+
+let eof c = c.pos >= String.length c.input
+let peek c = if eof c then '\000' else c.input.[c.pos]
+
+let skip_ws c =
+  while (not (eof c)) && peek c = ' ' do
+    c.pos <- c.pos + 1
+  done
+
+let looking_at c s =
+  let n = String.length s in
+  c.pos + n <= String.length c.input && String.sub c.input c.pos n = s
+
+let eat c s = if looking_at c s then c.pos <- c.pos + String.length s else fail c (Printf.sprintf "expected %S" s)
+
+let is_name_char ch =
+  (ch >= 'a' && ch <= 'z')
+  || (ch >= 'A' && ch <= 'Z')
+  || (ch >= '0' && ch <= '9')
+  || ch = '_' || ch = '-' || ch = '.' || ch = ':'
+
+let parse_name c =
+  skip_ws c;
+  let start = c.pos in
+  while (not (eof c)) && is_name_char (peek c) do
+    c.pos <- c.pos + 1
+  done;
+  if c.pos = start then fail c "expected a name";
+  String.sub c.input start (c.pos - start)
+
+let parse_literal c =
+  skip_ws c;
+  let quote = peek c in
+  if quote <> '\'' && quote <> '"' then fail c "expected a quoted literal";
+  c.pos <- c.pos + 1;
+  let start = c.pos in
+  while (not (eof c)) && peek c <> quote do
+    c.pos <- c.pos + 1
+  done;
+  if eof c then fail c "unterminated literal";
+  let s = String.sub c.input start (c.pos - start) in
+  c.pos <- c.pos + 1;
+  s
+
+let parse_axis c =
+  skip_ws c;
+  if looking_at c "//" then begin
+    eat c "//";
+    Some Pattern.Descendant
+  end
+  else if looking_at c "/" then begin
+    eat c "/";
+    Some Pattern.Child
+  end
+  else None
+
+(* A step list builds a downward chain; returns the chain head. *)
+let rec parse_steps c =
+  match parse_axis c with
+  | None -> fail c "expected '/' or '//'"
+  | Some axis ->
+    let node = parse_step c in
+    (axis, attach_rest c node)
+
+and attach_rest c node =
+  skip_ws c;
+  if looking_at c "/" then begin
+    let axis, child = parse_steps c in
+    { node with Pattern.edges = node.Pattern.edges @ [ (axis, child) ] }
+  end
+  else node
+
+and parse_step c =
+  skip_ws c;
+  let pred =
+    if peek c = '*' then begin
+      c.pos <- c.pos + 1;
+      Predicate.True
+    end
+    else Predicate.Tag (parse_name c)
+  in
+  let node = ref (Pattern.node pred) in
+  let rec filters () =
+    skip_ws c;
+    if peek c = '[' then begin
+      eat c "[";
+      apply_filter c node;
+      skip_ws c;
+      eat c "]";
+      filters ()
+    end
+  in
+  filters ();
+  !node
+
+and apply_filter c node =
+  skip_ws c;
+  if looking_at c "./" || looking_at c ".//" then begin
+    eat c ".";
+    let axis, child = parse_steps c in
+    node := { !node with Pattern.edges = !node.Pattern.edges @ [ (axis, child) ] }
+  end
+  else if looking_at c "/" then begin
+    let axis, child = parse_steps c in
+    node := { !node with Pattern.edges = !node.Pattern.edges @ [ (axis, child) ] }
+  end
+  else if looking_at c "text()" then begin
+    eat c "text()";
+    skip_ws c;
+    eat c "=";
+    let v = parse_literal c in
+    node :=
+      { !node with Pattern.pred = Predicate.And (!node.Pattern.pred, Predicate.Text_eq v) }
+  end
+  else if looking_at c "starts-with" || looking_at c "ends-with"
+          || looking_at c "contains" then begin
+    let make =
+      if looking_at c "starts-with" then begin
+        eat c "starts-with";
+        fun v -> Predicate.Text_prefix v
+      end
+      else if looking_at c "ends-with" then begin
+        eat c "ends-with";
+        fun v -> Predicate.Text_suffix v
+      end
+      else begin
+        eat c "contains";
+        fun v -> Predicate.Text_contains v
+      end
+    in
+    skip_ws c;
+    eat c "(";
+    skip_ws c;
+    eat c "text()";
+    skip_ws c;
+    eat c ",";
+    let v = parse_literal c in
+    skip_ws c;
+    eat c ")";
+    node := { !node with Pattern.pred = Predicate.And (!node.Pattern.pred, make v) }
+  end
+  else if peek c = '@' then begin
+    eat c "@";
+    let k = parse_name c in
+    skip_ws c;
+    eat c "=";
+    let v = parse_literal c in
+    node :=
+      { !node with Pattern.pred = Predicate.And (!node.Pattern.pred, Predicate.Attr_eq (k, v)) }
+  end
+  else fail c "expected a structural branch or a content predicate"
+
+let parse input =
+  let c = { input; pos = 0 } in
+  try
+    let anchor, root = parse_steps c in
+    skip_ws c;
+    if not (eof c) then fail c "trailing characters";
+    Ok { anchor; root }
+  with Failure msg -> Error msg
+
+let parse_exn input =
+  match parse input with Ok q -> q | Error msg -> failwith msg
+
+let pattern_exn input = (parse_exn input).root

@@ -1,0 +1,34 @@
+(** Parser for an XPath-like twig-query syntax.
+
+    Supported grammar (whitespace-insensitive):
+
+    {v
+    query   ::= ('/' | '//') step (('/' | '//') step)*
+    step    ::= nametest filter*
+    nametest::= NAME | '*'
+    filter  ::= '[' branch ']'
+    branch  ::= ('.')? ('/' | '//') step (('/' | '//') step)*   structural
+              | "text()" '=' literal
+              | "starts-with" '(' "text()" ',' literal ')'
+              | "ends-with"   '(' "text()" ',' literal ')'
+              | "contains"    '(' "text()" ',' literal ')'
+              | '@' NAME '=' literal
+    literal ::= '...' | "..."
+    v}
+
+    Examples: [//article//author], [//department/email],
+    [//faculty\[.//TA\]\[.//RA\]], [//cite\[starts-with(text(),'conf')\]]. *)
+
+type query = {
+  anchor : Pattern.axis;
+      (** leading axis: [Descendant] for ["//a..."] (match anywhere),
+          [Child] for ["/a..."] (root must be a document element) *)
+  root : Pattern.t;
+}
+
+val parse : string -> (query, string) result
+val parse_exn : string -> query
+
+val pattern_exn : string -> Pattern.t
+(** [pattern_exn s] is [(parse_exn s).root] — convenient when the leading
+    axis is [//] and irrelevant. *)

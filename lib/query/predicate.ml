@@ -1,0 +1,254 @@
+open Xmlest_xmldb
+
+type t =
+  | True
+  | Tag of string
+  | Text_eq of string
+  | Text_prefix of string
+  | Text_suffix of string
+  | Text_contains of string
+  | Attr_eq of string * string
+  | Level_eq of int
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let ends_with ~suffix s =
+  let ls = String.length s and lx = String.length suffix in
+  ls >= lx && String.sub s (ls - lx) lx = suffix
+
+let contains ~sub s =
+  let ls = String.length s and lx = String.length sub in
+  if lx = 0 then true
+  else begin
+    let rec go i = i + lx <= ls && (String.sub s i lx = sub || go (i + 1)) in
+    go 0
+  end
+
+let rec eval p doc v =
+  match p with
+  | True -> true
+  | Tag t -> String.equal (Document.tag doc v) t
+  | Text_eq s -> String.equal (Document.text doc v) s
+  | Text_prefix s -> starts_with ~prefix:s (Document.text doc v)
+  | Text_suffix s -> ends_with ~suffix:s (Document.text doc v)
+  | Text_contains s -> contains ~sub:s (Document.text doc v)
+  | Attr_eq (k, value) -> (
+    match List.assoc_opt k (Document.attrs doc v) with
+    | Some x -> String.equal x value
+    | None -> false)
+  | Level_eq l -> Document.level doc v = l
+  | And (a, b) -> eval a doc v && eval b doc v
+  | Or (a, b) -> eval a doc v || eval b doc v
+  | Not a -> not (eval a doc v)
+
+let rec tag_of = function
+  | Tag t -> Some t
+  | And (a, b) -> ( match tag_of a with Some t -> Some t | None -> tag_of b)
+  | _ -> None
+
+let matching_nodes doc p =
+  match p with
+  | True -> Array.init (Document.size doc) Fun.id
+  | Tag t -> Array.copy (Document.nodes_with_tag doc t)
+  | p -> (
+    (* Narrow the scan with the tag index when a conjunct pins the tag. *)
+    match tag_of p with
+    | Some t ->
+      let candidates = Document.nodes_with_tag doc t in
+      Array.of_seq
+        (Seq.filter (fun v -> eval p doc v) (Array.to_seq candidates))
+    | None ->
+      let out = ref [] in
+      for v = Document.size doc - 1 downto 0 do
+        if eval p doc v then out := v :: !out
+      done;
+      Array.of_list !out)
+
+let count doc p = Array.length (matching_nodes doc p)
+
+let rec name = function
+  | True -> "true"
+  | Tag t -> "tag=" ^ t
+  | Text_eq s -> "text=" ^ s
+  | Text_prefix s -> "prefix=" ^ s
+  | Text_suffix s -> "suffix=" ^ s
+  | Text_contains s -> "contains=" ^ s
+  | Attr_eq (k, v) -> Printf.sprintf "@%s=%s" k v
+  | Level_eq l -> Printf.sprintf "level=%d" l
+  | And (a, b) -> name a ^ "&" ^ name b
+  | Or (a, b) -> "(" ^ name a ^ "|" ^ name b ^ ")"
+  | Not a -> "!(" ^ name a ^ ")"
+
+let disjoint a b =
+  match (tag_of a, tag_of b) with
+  | Some x, Some y -> not (String.equal x y)
+  | (Some _ | None), _ -> false
+
+let rec equal a b =
+  match (a, b) with
+  | True, True -> true
+  | Tag x, Tag y
+  | Text_eq x, Text_eq y
+  | Text_prefix x, Text_prefix y
+  | Text_suffix x, Text_suffix y
+  | Text_contains x, Text_contains y ->
+    String.equal x y
+  | Attr_eq (k1, v1), Attr_eq (k2, v2) -> String.equal k1 k2 && String.equal v1 v2
+  | Level_eq x, Level_eq y -> x = y
+  | And (x1, y1), And (x2, y2) | Or (x1, y1), Or (x2, y2) ->
+    equal x1 x2 && equal y1 y2
+  | Not x, Not y -> equal x y
+  | ( ( True | Tag _ | Text_eq _ | Text_prefix _ | Text_suffix _
+      | Text_contains _ | Attr_eq _ | Level_eq _ | And _ | Or _ | Not _ ),
+      _ ) ->
+    false
+
+let compare a b = String.compare (name a) (name b)
+let pp ppf p = Format.pp_print_string ppf (name p)
+
+let tag t = Tag t
+let text_prefix ~tag p = And (Tag tag, Text_prefix p)
+let text_eq ~tag v = And (Tag tag, Text_eq v)
+
+let any_of = function
+  | [] -> invalid_arg "Predicate.any_of: empty list"
+  | p :: ps -> List.fold_left (fun acc q -> Or (acc, q)) p ps
+
+(* --- Serialization ---------------------------------------------------- *)
+
+let quote s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | ch -> Buffer.add_char b ch)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let rec to_syntax = function
+  | True -> "true"
+  | Tag t -> Printf.sprintf "(tag %s)" (quote t)
+  | Text_eq s -> Printf.sprintf "(text %s)" (quote s)
+  | Text_prefix s -> Printf.sprintf "(prefix %s)" (quote s)
+  | Text_suffix s -> Printf.sprintf "(suffix %s)" (quote s)
+  | Text_contains s -> Printf.sprintf "(contains %s)" (quote s)
+  | Attr_eq (k, v) -> Printf.sprintf "(attr %s %s)" (quote k) (quote v)
+  | Level_eq l -> Printf.sprintf "(level %d)" l
+  | And (a, b) -> Printf.sprintf "(and %s %s)" (to_syntax a) (to_syntax b)
+  | Or (a, b) -> Printf.sprintf "(or %s %s)" (to_syntax a) (to_syntax b)
+  | Not a -> Printf.sprintf "(not %s)" (to_syntax a)
+
+(* Tiny s-expression reader specialized to the grammar above. *)
+type token = Lp | Rp | Sym of string | Str of string | Num of int
+
+let tokenize src =
+  let n = String.length src in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    (match src.[!i] with
+    | ' ' | '\t' | '\n' | '\r' -> incr i
+    | '(' ->
+      out := Lp :: !out;
+      incr i
+    | ')' ->
+      out := Rp :: !out;
+      incr i
+    | '"' ->
+      incr i;
+      let b = Buffer.create 16 in
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        (match src.[!i] with
+        | '\\' when !i + 1 < n ->
+          Buffer.add_char b src.[!i + 1];
+          i := !i + 1
+        | '"' -> closed := true
+        | ch -> Buffer.add_char b ch);
+        incr i
+      done;
+      if not !closed then failwith "unterminated string";
+      out := Str (Buffer.contents b) :: !out
+    | ch when (ch >= '0' && ch <= '9') || ch = '-' ->
+      let start = !i in
+      incr i;
+      while !i < n && src.[!i] >= '0' && src.[!i] <= '9' do
+        incr i
+      done;
+      out := Num (int_of_string (String.sub src start (!i - start))) :: !out
+    | ch when (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ->
+      let start = !i in
+      while !i < n && ((src.[!i] >= 'a' && src.[!i] <= 'z') || (src.[!i] >= 'A' && src.[!i] <= 'Z')) do
+        incr i
+      done;
+      out := Sym (String.sub src start (!i - start)) :: !out
+    | ch -> failwith (Printf.sprintf "unexpected character %C" ch));
+  done;
+  List.rev !out
+
+let of_syntax src =
+  let parse_error msg = failwith msg in
+  let rec parse toks =
+    match toks with
+    | Sym "true" :: rest -> (True, rest)
+    | Lp :: Sym kw :: rest -> (
+      let str rest =
+        match rest with
+        | Str s :: rest -> (s, rest)
+        | _ -> parse_error (kw ^ ": expected a string")
+      in
+      match kw with
+      | "tag" ->
+        let s, rest = str rest in
+        close (Tag s) rest
+      | "text" ->
+        let s, rest = str rest in
+        close (Text_eq s) rest
+      | "prefix" ->
+        let s, rest = str rest in
+        close (Text_prefix s) rest
+      | "suffix" ->
+        let s, rest = str rest in
+        close (Text_suffix s) rest
+      | "contains" ->
+        let s, rest = str rest in
+        close (Text_contains s) rest
+      | "attr" ->
+        let k, rest = str rest in
+        let v, rest = str rest in
+        close (Attr_eq (k, v)) rest
+      | "level" -> (
+        match rest with
+        | Num l :: rest -> close (Level_eq l) rest
+        | _ -> parse_error "level: expected an integer")
+      | "and" ->
+        let a, rest = parse rest in
+        let b, rest = parse rest in
+        close (And (a, b)) rest
+      | "or" ->
+        let a, rest = parse rest in
+        let b, rest = parse rest in
+        close (Or (a, b)) rest
+      | "not" ->
+        let a, rest = parse rest in
+        close (Not a) rest
+      | kw -> parse_error ("unknown predicate form " ^ kw))
+    | _ -> parse_error "expected a predicate"
+  and close value = function
+    | Rp :: rest -> (value, rest)
+    | _ -> parse_error "expected ')'"
+  in
+  try
+    let value, rest = parse (tokenize src) in
+    if rest <> [] then Error "trailing tokens after predicate"
+    else Ok value
+  with Failure msg -> Error msg

@@ -1,0 +1,75 @@
+(** Node predicates (the paper's base predicate set P, Sec. 2 and 3.4).
+
+    Two families matter in practice and drive the evaluation:
+    element-tag predicates ([Tag]) and element-content predicates
+    ([Text_eq], [Text_prefix], ...).  Compound predicates are boolean
+    combinations of these; [True] matches every node and is the population
+    predicate used to normalize compound-histogram estimation. *)
+
+open Xmlest_xmldb
+
+type t =
+  | True  (** every node *)
+  | Tag of string  (** element tag equality, e.g. [elementtag = faculty] *)
+  | Text_eq of string  (** exact match on the node's text content *)
+  | Text_prefix of string  (** text starts with, e.g. cite text ["conf"] *)
+  | Text_suffix of string
+  | Text_contains of string
+  | Attr_eq of string * string  (** attribute equality *)
+  | Level_eq of int  (** node depth equality (extension) *)
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+val eval : t -> Document.t -> Document.node -> bool
+
+val matching_nodes : Document.t -> t -> Document.node array
+(** All nodes satisfying the predicate, in document order (sorted by start
+    position).  Tag predicates — and conjunctions involving a tag — use the
+    store's tag index instead of a full scan. *)
+
+val count : Document.t -> t -> int
+
+val name : t -> string
+(** Canonical, human-readable key, e.g. ["tag=faculty"],
+    ["tag=cite&prefix=conf"].  Stable across equal predicates; used to key
+    histogram catalogs. *)
+
+val tag_of : t -> string option
+(** The tag a node must carry to satisfy the predicate, if the predicate
+    constrains the tag ([Tag] or a conjunction containing one). *)
+
+val disjoint : t -> t -> bool
+(** [true] only when the two predicates provably select disjoint node sets
+    (both pin the element tag, to different tags).  A [false] answer means
+    "unknown", not "overlapping". *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+(** {2 Serialization}
+
+    A small s-expression syntax, used by the summary persistence layer:
+    [true], [(tag "faculty")], [(text "1984")], [(prefix "conf")],
+    [(suffix "x")], [(contains "x")], [(attr "k" "v")], [(level 3)],
+    [(and P Q)], [(or P Q)], [(not P)].  Strings are double-quoted with
+    backslash escapes. *)
+
+val to_syntax : t -> string
+
+val of_syntax : string -> (t, string) result
+(** Inverse of {!to_syntax}. *)
+
+(** {2 Convenience constructors} *)
+
+val tag : string -> t
+val text_prefix : tag:string -> string -> t
+(** [Tag tag && Text_prefix p] — the paper's cite-prefix predicates. *)
+
+val text_eq : tag:string -> string -> t
+(** [Tag tag && Text_eq v] — the paper's per-year predicates. *)
+
+val any_of : t list -> t
+(** Disjunction of a non-empty list — the paper's compound decade
+    predicates (e.g. 1990's = year=1990 ∨ ... ∨ year=1999). *)

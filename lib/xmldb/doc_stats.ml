@@ -1,0 +1,37 @@
+type tag_stat = {
+  tag : string;
+  count : int;
+  min_level : int;
+  max_level : int;
+  overlapping : bool;
+}
+
+let tag_stats doc =
+  let stat_of_tag tag =
+    let nodes = Document.nodes_with_tag doc tag in
+    let min_level = ref max_int and max_level = ref 0 in
+    Array.iter
+      (fun v ->
+        let l = Document.level doc v in
+        if l < !min_level then min_level := l;
+        if l > !max_level then max_level := l)
+      nodes;
+    {
+      tag;
+      count = Array.length nodes;
+      min_level = (if Array.length nodes = 0 then 0 else !min_level);
+      max_level = !max_level;
+      overlapping = Interval_ops.has_nesting doc nodes;
+    }
+  in
+  List.map stat_of_tag (Document.distinct_tags doc)
+
+let pp_table ppf stats =
+  Format.fprintf ppf "%-24s %10s %6s %6s  %s@." "tag" "count" "minlvl"
+    "maxlvl" "overlap";
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "%-24s %10d %6d %6d  %s@." s.tag s.count s.min_level
+        s.max_level
+        (if s.overlapping then "overlap" else "no overlap"))
+    stats

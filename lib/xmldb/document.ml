@@ -1,0 +1,162 @@
+type node = int
+
+type t = {
+  tag_ids : int array;
+  tag_names : string array;  (* tag id -> name *)
+  tag_table : (string, int) Hashtbl.t;  (* name -> tag id *)
+  texts : string array;
+  attrs : (string * string) list array;
+  starts : int array;
+  ends : int array;
+  levels : int array;
+  parents : int array;
+  subtree_lasts : int array;
+  by_tag : node array array;  (* tag id -> node indices in document order *)
+  max_pos : int;
+}
+
+let dummy_root_tag = "#root"
+
+(* Compile an element tree into the store with an explicit stack so that
+   arbitrarily deep documents do not overflow the OCaml stack. *)
+let of_elem root =
+  let n = Elem.size root in
+  let tag_ids = Array.make n 0 in
+  let texts = Array.make n "" in
+  let attrs = Array.make n [] in
+  let starts = Array.make n 0 in
+  let ends = Array.make n 0 in
+  let levels = Array.make n 0 in
+  let parents = Array.make n (-1) in
+  let subtree_lasts = Array.make n 0 in
+  let tag_table = Hashtbl.create 64 in
+  let tag_names = ref [] in
+  let tag_count = ref 0 in
+  let intern tag =
+    match Hashtbl.find_opt tag_table tag with
+    | Some id -> id
+    | None ->
+      let id = !tag_count in
+      incr tag_count;
+      Hashtbl.add tag_table tag id;
+      tag_names := tag :: !tag_names;
+      id
+  in
+  let counter = ref 0 in
+  let next_pos () =
+    let p = !counter in
+    incr counter;
+    p
+  in
+  let index = ref 0 in
+  (* Stack frames: Enter (elem, parent index, level) to open a node,
+     Exit idx to close it. *)
+  let stack = ref [ `Enter (root, -1, 0) ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> assert false
+    | frame :: rest ->
+      stack := rest;
+      (match frame with
+      | `Enter (e, parent, lvl) ->
+        let v = !index in
+        incr index;
+        tag_ids.(v) <- intern e.Elem.tag;
+        texts.(v) <- e.Elem.text;
+        attrs.(v) <- e.Elem.attrs;
+        starts.(v) <- next_pos ();
+        levels.(v) <- lvl;
+        parents.(v) <- parent;
+        stack := `Exit v :: !stack;
+        (* Push children so that the first child is processed first. *)
+        List.iter
+          (fun c -> stack := `Enter (c, v, lvl + 1) :: !stack)
+          (List.rev e.Elem.children)
+      | `Exit v ->
+        ends.(v) <- next_pos ();
+        subtree_lasts.(v) <- !index - 1)
+  done;
+  let tag_names = Array.of_list (List.rev !tag_names) in
+  let buckets = Array.make (Array.length tag_names) [] in
+  for v = n - 1 downto 0 do
+    buckets.(tag_ids.(v)) <- v :: buckets.(tag_ids.(v))
+  done;
+  let by_tag = Array.map Array.of_list buckets in
+  {
+    tag_ids;
+    tag_names;
+    tag_table;
+    texts;
+    attrs;
+    starts;
+    ends;
+    levels;
+    parents;
+    subtree_lasts;
+    by_tag;
+    max_pos = !counter - 1;
+  }
+
+let of_forest docs = of_elem (Elem.make ~children:docs dummy_root_tag)
+
+let size t = Array.length t.tag_ids
+
+let has_dummy_root t =
+  Array.length t.tag_ids > 0 && t.tag_names.(t.tag_ids.(0)) = dummy_root_tag
+let max_pos t = t.max_pos
+let tag t v = t.tag_names.(t.tag_ids.(v))
+let tag_id t v = t.tag_ids.(v)
+let text t v = t.texts.(v)
+let attrs t v = t.attrs.(v)
+let start_pos t v = t.starts.(v)
+let end_pos t v = t.ends.(v)
+let level t v = t.levels.(v)
+let parent t v = t.parents.(v)
+let subtree_last t v = t.subtree_lasts.(v)
+let subtree_size t v = t.subtree_lasts.(v) - v + 1
+
+let is_ancestor t ~anc ~desc =
+  t.starts.(anc) < t.starts.(desc) && t.ends.(desc) < t.ends.(anc)
+
+let is_parent t ~parent:p ~child = t.parents.(child) = p
+
+let document_roots_impl t =
+  if Array.length t.tag_ids = 0 then []
+  else if has_dummy_root t then begin
+    (* children of node 0 *)
+    let out = ref [] in
+    let u = ref 1 in
+    while !u < Array.length t.tag_ids do
+      out := !u :: !out;
+      u := t.subtree_lasts.(!u) + 1
+    done;
+    List.rev !out
+  end
+  else [ 0 ]
+
+let document_roots t = document_roots_impl t
+
+let children t v =
+  let last = t.subtree_lasts.(v) in
+  let rec go acc u =
+    if u > last then List.rev acc
+    else go (u :: acc) (t.subtree_lasts.(u) + 1)
+  in
+  go [] (v + 1)
+
+let iter t f =
+  for v = 0 to size t - 1 do
+    f v
+  done
+
+let distinct_tags t =
+  Array.to_list t.tag_names |> List.sort String.compare
+
+let lookup_tag_id t tag = Hashtbl.find_opt t.tag_table tag
+
+let nodes_with_tag t tag =
+  match lookup_tag_id t tag with
+  | Some id -> t.by_tag.(id)
+  | None -> [||]
+
+let tag_count t tag = Array.length (nodes_with_tag t tag)

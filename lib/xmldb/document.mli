@@ -1,0 +1,93 @@
+(** Interval-labeled document store.
+
+    Compiles an {!Elem.t} tree (or a forest merged under a dummy root, as
+    the paper does for multi-document databases) into a compact array-backed
+    store.  Every node carries a numeric [start]/[end] interval assigned by
+    a depth-first traversal: a node's interval strictly contains the
+    intervals of all of its descendants, so
+
+    - [u] is an ancestor of [v]  iff  [start u < start v && end v < end u].
+
+    Both endpoints are drawn from one global counter ([start] on entry,
+    [end] on exit), so all positions are distinct, [start < end] for every
+    node, and intervals of distinct nodes never share an endpoint.  This is
+    the numbering scheme of Sec. 3.1 of the paper.
+
+    Nodes are identified by their pre-order index [0 .. size-1]; a node's
+    subtree occupies the contiguous index range
+    [v .. subtree_last v]. *)
+
+type t
+
+type node = int
+(** Pre-order index of a node within the store. *)
+
+val of_elem : Elem.t -> t
+(** Compile a single document.  The root element becomes node [0]. *)
+
+val of_forest : Elem.t list -> t
+(** Merge several documents under a dummy ["#root"] element (node [0]) and
+    compile, mirroring the paper's mega-tree construction. *)
+
+val has_dummy_root : t -> bool
+(** [true] iff the store was built by {!of_forest}: node [0] is the
+    synthetic ["#root"] element rather than a document element. *)
+
+val document_roots : t -> node list
+(** The document elements: node [0] for an {!of_elem} store, the children
+    of the dummy root for an {!of_forest} store. *)
+
+val size : t -> int
+(** Number of nodes, including any dummy root. *)
+
+val max_pos : t -> int
+(** Largest assigned position value ([= 2 * size - 1]). *)
+
+(** {2 Per-node accessors} *)
+
+val tag : t -> node -> string
+val tag_id : t -> node -> int
+val text : t -> node -> string
+val attrs : t -> node -> (string * string) list
+val start_pos : t -> node -> int
+val end_pos : t -> node -> int
+
+val level : t -> node -> int
+(** Depth of the node; the store's root (node 0) has level 0. *)
+
+val parent : t -> node -> node
+(** Parent index, or [-1] for the root. *)
+
+val subtree_last : t -> node -> node
+(** Index of the last node (in pre-order) of [v]'s subtree; [v] itself for a
+    leaf.  Subtree of [v] = indices [v .. subtree_last v]. *)
+
+val subtree_size : t -> node -> int
+
+(** {2 Structure queries} *)
+
+val is_ancestor : t -> anc:node -> desc:node -> bool
+(** Strict ancestorship, by interval containment. *)
+
+val is_parent : t -> parent:node -> child:node -> bool
+
+val children : t -> node -> node list
+(** Child indices in document order. *)
+
+val iter : t -> (node -> unit) -> unit
+(** Iterate over all nodes in pre-order. *)
+
+(** {2 Tag index} *)
+
+val distinct_tags : t -> string list
+(** Distinct tags in the store, sorted; includes the dummy root tag if
+    present. *)
+
+val nodes_with_tag : t -> string -> node array
+(** Indices of nodes carrying the given tag, in document order (hence
+    sorted by start position).  Empty array for unknown tags. *)
+
+val tag_count : t -> string -> int
+
+val lookup_tag_id : t -> string -> int option
+(** Intern lookup; [None] if the tag does not occur. *)

@@ -1,0 +1,51 @@
+(** Immutable XML element trees.
+
+    This is the construction-time representation of a document: a plain
+    node-labeled tree.  For querying and estimation it is compiled into the
+    array-backed, interval-labeled {!Document.t}. *)
+
+type t = {
+  tag : string;  (** element tag name *)
+  attrs : (string * string) list;  (** attributes, in document order *)
+  text : string;  (** concatenated character data directly under this node *)
+  children : t list;  (** sub-elements, in document order *)
+}
+
+val make :
+  ?attrs:(string * string) list ->
+  ?text:string ->
+  ?children:t list ->
+  string ->
+  t
+(** [make tag] builds an element.  Defaults: no attributes, empty text, no
+    children. *)
+
+val leaf : ?attrs:(string * string) list -> string -> string -> t
+(** [leaf tag text] is [make ~text tag]: a text-only element. *)
+
+val size : t -> int
+(** Number of element nodes in the tree (including the root). *)
+
+val depth : t -> int
+(** Length of the longest root-to-leaf path, in nodes ([depth leaf = 1]). *)
+
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+(** Pre-order fold over all elements of the tree. *)
+
+val iter : (t -> unit) -> t -> unit
+(** Pre-order iteration over all elements of the tree. *)
+
+val count : (t -> bool) -> t -> int
+(** [count p t] is the number of elements satisfying [p]. *)
+
+val tag_counts : t -> (string * int) list
+(** Distinct tags with their occurrence counts, sorted by tag name. *)
+
+val attr : t -> string -> string option
+(** [attr e name] looks up attribute [name] on [e]. *)
+
+val equal : t -> t -> bool
+(** Structural equality. *)
+
+val pp : Format.formatter -> t -> unit
+(** Debug printer (single line, truncated text). *)

@@ -1,0 +1,36 @@
+(* All three functions run a single sweep over the start-sorted node list,
+   maintaining a stack of currently-open intervals: before considering node
+   [v], every stacked node whose interval ends before [start v] is closed;
+   the remaining stacked nodes are exactly [v]'s ancestors within the set. *)
+
+let sweep doc nodes ~on_open =
+  let stack = Stack.create () in
+  Array.iter
+    (fun v ->
+      let sv = Document.start_pos doc v in
+      while
+        (not (Stack.is_empty stack))
+        && Document.end_pos doc (Stack.top stack) < sv
+      do
+        ignore (Stack.pop stack)
+      done;
+      on_open stack v;
+      Stack.push v stack)
+    nodes
+
+let has_nesting doc nodes =
+  let found = ref false in
+  sweep doc nodes ~on_open:(fun stack _v ->
+      if not (Stack.is_empty stack) then found := true);
+  !found
+
+let count_nesting_pairs doc nodes =
+  let pairs = ref 0 in
+  sweep doc nodes ~on_open:(fun stack _v -> pairs := !pairs + Stack.length stack);
+  !pairs
+
+let max_nesting_depth doc nodes =
+  let best = ref 0 in
+  sweep doc nodes ~on_open:(fun stack _v ->
+      best := max !best (Stack.length stack + 1));
+  !best

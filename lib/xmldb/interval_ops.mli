@@ -1,0 +1,15 @@
+(** Operations on document-order (start-position sorted) node arrays. *)
+
+val has_nesting : Document.t -> Document.node array -> bool
+(** [has_nesting doc nodes] is [true] iff some node of [nodes] is an
+    ancestor of another node of [nodes].  [nodes] must be sorted by start
+    position (as returned by {!Document.nodes_with_tag}).  A predicate whose
+    node set has no nesting has the paper's {e no-overlap} property. *)
+
+val count_nesting_pairs : Document.t -> Document.node array -> int
+(** Number of (ancestor, descendant) pairs within [nodes]; 0 iff the set has
+    the no-overlap property. *)
+
+val max_nesting_depth : Document.t -> Document.node array -> int
+(** Size of the largest chain of mutually nested nodes (1 for a non-empty
+    no-overlap set, 0 for an empty set). *)

@@ -1,0 +1,75 @@
+let escape ~quot s =
+  let needs_escaping = ref false in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '&' | '<' | '>' -> needs_escaping := true
+      | '"' when quot -> needs_escaping := true
+      | _ -> ())
+    s;
+  if not !needs_escaping then s
+  else begin
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun ch ->
+        match ch with
+        | '&' -> Buffer.add_string b "&amp;"
+        | '<' -> Buffer.add_string b "&lt;"
+        | '>' -> Buffer.add_string b "&gt;"
+        | '"' when quot -> Buffer.add_string b "&quot;"
+        | ch -> Buffer.add_char b ch)
+      s;
+    Buffer.contents b
+  end
+
+let escape_text s = escape ~quot:false s
+let escape_attr s = escape ~quot:true s
+
+let to_buffer ?(indent = true) buf e =
+  let open Elem in
+  let pad depth =
+    if indent then begin
+      if Buffer.length buf > 0 then Buffer.add_char buf '\n';
+      for _ = 1 to depth do
+        Buffer.add_string buf "  "
+      done
+    end
+  in
+  let rec go depth e =
+    pad depth;
+    Buffer.add_char buf '<';
+    Buffer.add_string buf e.tag;
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf k;
+        Buffer.add_string buf "=\"";
+        Buffer.add_string buf (escape_attr v);
+        Buffer.add_char buf '"')
+      e.attrs;
+    if e.text = "" && e.children = [] then Buffer.add_string buf "/>"
+    else begin
+      Buffer.add_char buf '>';
+      if e.text <> "" then Buffer.add_string buf (escape_text e.text);
+      if e.children <> [] then begin
+        List.iter (go (depth + 1)) e.children;
+        pad depth
+      end;
+      Buffer.add_string buf "</";
+      Buffer.add_string buf e.tag;
+      Buffer.add_char buf '>'
+    end
+  in
+  go 0 e
+
+let to_string ?indent e =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  to_buffer ?indent b e;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+let to_file ?indent path e =
+  let oc = open_out_bin path in
+  output_string oc (to_string ?indent e);
+  close_out oc

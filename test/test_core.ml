@@ -1,0 +1,514 @@
+(* End-to-end tests of the Summary catalog: build, lookup, estimation,
+   storage accounting, schema overrides — the surface TIMBER's optimizer
+   would consume. *)
+
+open Xmlest_core
+open Xmlest_test_util
+
+let check = Alcotest.check
+let tagp = Xmlest.Predicate.tag
+
+let staff_summary ?(grid_size = 10) () =
+  let doc = Xmlest.Document.of_elem (Xmlest.Staff_gen.generate ()) in
+  let preds =
+    [ tagp "manager"; tagp "department"; tagp "employee"; tagp "email"; tagp "name" ]
+  in
+  (doc, Xmlest.Summary.build ~grid_size doc preds)
+
+let test_build_detects_overlap () =
+  let _, s = staff_summary () in
+  Alcotest.(check bool) "manager overlaps" false
+    (Xmlest.Summary.has_no_overlap s (tagp "manager"));
+  Alcotest.(check bool) "department overlaps" false
+    (Xmlest.Summary.has_no_overlap s (tagp "department"));
+  Alcotest.(check bool) "employee no-overlap" true
+    (Xmlest.Summary.has_no_overlap s (tagp "employee"));
+  Alcotest.(check bool) "email no-overlap" true
+    (Xmlest.Summary.has_no_overlap s (tagp "email"))
+
+let test_coverage_built_exactly_for_no_overlap () =
+  let _, s = staff_summary () in
+  Alcotest.(check bool) "employee has coverage" true
+    (Xmlest.Summary.coverage s (tagp "employee") <> None);
+  Alcotest.(check bool) "manager has no coverage" true
+    (Xmlest.Summary.coverage s (tagp "manager") = None);
+  Alcotest.(check bool) "unknown predicate has none" true
+    (Xmlest.Summary.coverage s (tagp "zzz") = None)
+
+let test_schema_override () =
+  let doc = Xmlest.Document.of_elem (Xmlest.Staff_gen.generate ()) in
+  (* Force 'employee' to be treated as overlapping via schema info. *)
+  let s =
+    Xmlest.Summary.build ~grid_size:10
+      ~schema_no_overlap:(fun p ->
+        if Xmlest.Predicate.equal p (tagp "employee") then Some false else None)
+      doc
+      [ tagp "employee"; tagp "name" ]
+  in
+  Alcotest.(check bool) "override respected" false
+    (Xmlest.Summary.has_no_overlap s (tagp "employee"));
+  Alcotest.(check bool) "no coverage built" true
+    (Xmlest.Summary.coverage s (tagp "employee") = None)
+
+let test_node_counts_exact () =
+  let doc, s = staff_summary () in
+  List.iter
+    (fun tag ->
+      check (Alcotest.float 1e-9) (tag ^ " count")
+        (float_of_int (Xmlest.Document.tag_count doc tag))
+        (Xmlest.Summary.node_count s (tagp tag)))
+    [ "manager"; "department"; "employee"; "email"; "name" ]
+
+let test_histogram_on_demand_and_cached () =
+  let doc, s = staff_summary () in
+  (* 'name' prefix predicate is not in the catalog: built on demand. *)
+  let p = Xmlest.Predicate.text_prefix ~tag:"name" "A" in
+  let h1 = Xmlest.Summary.histogram s p in
+  check (Alcotest.float 1e-9) "on-demand exact"
+    (float_of_int (Xmlest.Predicate.count doc p))
+    (Xmlest.Position_histogram.total h1)
+
+let test_compound_histogram_via_catalog () =
+  let _, s = staff_summary () in
+  let either = Xmlest.Predicate.Or (tagp "email", tagp "name") in
+  let h = Xmlest.Summary.histogram s either in
+  let expected =
+    Xmlest.Summary.node_count s (tagp "email")
+    +. Xmlest.Summary.node_count s (tagp "name")
+  in
+  (* email and name never share a grid cell population overlap of
+     meaningfulness; independence keeps the estimate within 5%. *)
+  Alcotest.(check bool) "compound close to sum" true
+    (Float.abs (Xmlest.Position_histogram.total h -. expected) /. expected < 0.05)
+
+let test_estimate_string_parses () =
+  let doc, s = staff_summary () in
+  let est = Xmlest.Summary.estimate_string s "//department//email" in
+  let real =
+    float_of_int
+      (Xmlest.Twig_count.count doc
+         (Xmlest.Pattern.twig (tagp "department") [ tagp "email" ]))
+  in
+  Alcotest.(check bool) "estimate in the right ballpark" true
+    (est > real /. 6.0 && est < real *. 6.0);
+  Alcotest.check_raises "bad query"
+    (Failure "query parse error at offset 2: expected a name") (fun () ->
+      ignore (Xmlest.Summary.estimate_string s "//"))
+
+let test_storage_budget () =
+  (* The paper reports ~0.7% of the data set size for all DBLP histograms.
+     Check our summary stays below 2% of a rough document footprint. *)
+  let doc = Xmlest.Document.of_elem (Xmlest.Dblp_gen.generate_scaled 0.1) in
+  let preds =
+    List.map tagp [ "article"; "author"; "book"; "cdrom"; "cite"; "title"; "url"; "year" ]
+  in
+  let s = Xmlest.Summary.build ~grid_size:10 ~with_levels:false doc preds in
+  let bytes = Xmlest.Summary.storage_bytes s in
+  let doc_footprint = 20 * Xmlest.Document.size doc in
+  Alcotest.(check bool)
+    (Printf.sprintf "summary %dB <= 2%% of ~%dB" bytes doc_footprint)
+    true
+    (float_of_int bytes <= 0.02 *. float_of_int doc_footprint);
+  Alcotest.(check bool) "non-trivial" true (bytes > 100)
+
+let test_equidepth_summary () =
+  let doc = Xmlest.Document.of_elem (Xmlest.Staff_gen.generate ()) in
+  let preds = List.map tagp [ "department"; "email" ] in
+  let s = Xmlest.Summary.build ~grid_size:10 ~grid_kind:`Equidepth doc preds in
+  Alcotest.(check bool) "grid is non-uniform" false
+    (Xmlest.Grid.is_uniform (Xmlest.Summary.grid s));
+  (* exact node counts are bucketization-independent *)
+  check (Alcotest.float 1e-9) "counts exact"
+    (float_of_int (Xmlest.Document.tag_count doc "email"))
+    (Xmlest.Summary.node_count s (tagp "email"));
+  let est = Xmlest.Summary.estimate_string s "//department//email" in
+  let real =
+    float_of_int
+      (Xmlest.Twig_count.count doc
+         (Xmlest.Pattern.twig (tagp "department") [ tagp "email" ]))
+  in
+  Alcotest.(check bool) "estimate sane" true
+    (Float.is_finite est && est > real /. 6.0 && est < real *. 6.0)
+
+let test_grid_size_respected () =
+  let doc = Test_util.fig1_doc () in
+  let s = Xmlest.Summary.build ~grid_size:7 doc [ tagp "TA" ] in
+  check Alcotest.int "grid size" 7 (Xmlest.Summary.grid s).Xmlest.Grid.size
+
+let test_pp_stats_renders () =
+  let _, s = staff_summary () in
+  let out = Format.asprintf "%a" Xmlest.Summary.pp_stats s in
+  let contains sub s =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "mentions manager" true (contains "tag=manager" out)
+
+(* --- Persistence -------------------------------------------------------- *)
+
+let test_save_load_roundtrip () =
+  let doc, s = staff_summary () in
+  let text = Xmlest.Summary.to_string s in
+  match Xmlest.Summary.of_string text with
+  | Error e -> Alcotest.failf "load failed: %s" e
+  | Ok s' ->
+    Alcotest.(check bool) "no document attached" true
+      (Xmlest.Summary.document s' = None);
+    check Alcotest.int "same predicates"
+      (List.length (Xmlest.Summary.predicates s))
+      (List.length (Xmlest.Summary.predicates s'));
+    (* identical estimates for pair and twig queries *)
+    List.iter
+      (fun q ->
+        check (Alcotest.float 1e-9) ("same estimate for " ^ q)
+          (Xmlest.Summary.estimate_string s q)
+          (Xmlest.Summary.estimate_string s' q))
+      [
+        "//manager//department"; "//department//email"; "//employee//name";
+        "//manager[.//department][.//employee]"; "//department/email";
+      ];
+    check Alcotest.int "same storage accounting"
+      (Xmlest.Summary.storage_bytes s)
+      (Xmlest.Summary.storage_bytes s');
+    ignore doc
+
+let test_save_load_file () =
+  let _, s = staff_summary () in
+  let path = Filename.temp_file "xmlest" ".summary" in
+  Xmlest.Summary.save s path;
+  (match Xmlest.Summary.load path with
+  | Ok s' ->
+    check (Alcotest.float 1e-9) "file roundtrip estimate"
+      (Xmlest.Summary.estimate_string s "//manager//employee")
+      (Xmlest.Summary.estimate_string s' "//manager//employee")
+  | Error e -> Alcotest.failf "file load failed: %s" e);
+  Sys.remove path
+
+let test_save_load_equidepth () =
+  let doc = Xmlest.Document.of_elem (Xmlest.Staff_gen.generate ()) in
+  let preds = List.map tagp [ "department"; "email" ] in
+  let s = Xmlest.Summary.build ~grid_size:10 ~grid_kind:`Equidepth doc preds in
+  match Xmlest.Summary.of_string (Xmlest.Summary.to_string s) with
+  | Error e -> Alcotest.failf "equidepth load failed: %s" e
+  | Ok s' ->
+    Alcotest.(check bool) "still non-uniform" false
+      (Xmlest.Grid.is_uniform (Xmlest.Summary.grid s'));
+    check (Alcotest.float 1e-9) "same estimate"
+      (Xmlest.Summary.estimate_string s "//department//email")
+      (Xmlest.Summary.estimate_string s' "//department//email")
+
+let test_load_rejects_garbage () =
+  let bad input =
+    match Xmlest.Summary.of_string input with
+    | Ok _ -> Alcotest.failf "expected load failure for %S" input
+    | Error _ -> ()
+  in
+  bad "";
+  bad "not a summary";
+  bad "xmlest-summary 1\n";
+  bad "xmlest-summary 1\ngrid uniform 10 100\npopulation 1\n";
+  bad "xmlest-summary 1\ngrid boundaries 3 10 5\npopulation 0\npredicates 0\nend\n";
+  (* truncated predicate block *)
+  let _, s = staff_summary () in
+  let text = Xmlest.Summary.to_string s in
+  bad (String.sub text 0 (String.length text / 2))
+
+let test_loaded_summary_unknown_predicate () =
+  let _, s = staff_summary () in
+  match Xmlest.Summary.of_string (Xmlest.Summary.to_string s) with
+  | Error e -> Alcotest.failf "load failed: %s" e
+  | Ok s' ->
+    (* catalog predicates work *)
+    check (Alcotest.float 1e-9) "known predicate"
+      (Xmlest.Summary.node_count s (tagp "email"))
+      (Xmlest.Summary.node_count s' (tagp "email"));
+    (* unknown leaf must raise, not silently return nonsense *)
+    (try
+       ignore (Xmlest.Summary.histogram s' (tagp "nonexistent"));
+       Alcotest.fail "expected Failure for unknown predicate"
+     with Failure _ -> ())
+
+let test_end_to_end_dblp_table2_shape () =
+  (* The qualitative claim of Table 2: naive >> pH-join >> no-overlap ~ real. *)
+  let doc = Xmlest.Document.of_elem (Xmlest.Dblp_gen.generate_scaled 0.05) in
+  let preds = List.map tagp [ "article"; "author" ] in
+  let s = Xmlest.Summary.build ~grid_size:10 doc preds in
+  let real =
+    float_of_int
+      (Xmlest.Structural_join.count_pairs doc
+         (Xmlest.Document.nodes_with_tag doc "article")
+         (Xmlest.Document.nodes_with_tag doc "author"))
+  in
+  let naive =
+    Xmlest.Summary.node_count s (tagp "article")
+    *. Xmlest.Summary.node_count s (tagp "author")
+  in
+  let overlap_est =
+    Xmlest.Summary.estimate
+      ~options:{ Xmlest.Twig_estimator.default_options with use_no_overlap = false }
+      s
+      (Xmlest.Pattern.twig (tagp "article") [ tagp "author" ])
+  in
+  let no_overlap_est =
+    Xmlest.Summary.estimate s (Xmlest.Pattern.twig (tagp "article") [ tagp "author" ])
+  in
+  Alcotest.(check bool) "naive >> overlap estimate" true (naive > 10.0 *. overlap_est);
+  Alcotest.(check bool) "overlap estimate >> naive/1000" true
+    (overlap_est < naive /. 100.0);
+  Alcotest.(check bool) "no-overlap within 25% of real" true
+    (Float.abs (no_overlap_est -. real) /. real < 0.25);
+  Alcotest.(check bool) "no-overlap beats overlap" true
+    (Float.abs (no_overlap_est -. real) < Float.abs (overlap_est -. real))
+
+let test_scale_integration () =
+  (* A mid-size end-to-end pass: ~55k-node DBLP sample, full catalog,
+     theorems hold, estimates agree with truth within the usual bands. *)
+  let doc = Xmlest.Document.of_elem (Xmlest.Dblp_gen.generate_scaled 0.3) in
+  Alcotest.(check bool) "substantial" true (Xmlest.Document.size doc > 40_000);
+  let preds =
+    List.map tagp [ "article"; "author"; "book"; "cdrom"; "cite"; "title"; "url"; "year" ]
+  in
+  let s = Xmlest.Summary.build ~grid_size:100 ~with_levels:false doc preds in
+  (* Theorem 1 at g = 100 across the whole catalog *)
+  List.iter
+    (fun p ->
+      let cells =
+        Xmlest.Position_histogram.nonzero_cells (Xmlest.Summary.histogram s p)
+      in
+      Alcotest.(check bool)
+        (Xmlest.Predicate.name p ^ " cells O(g)")
+        true (cells <= 400))
+    preds;
+  (* headline estimate within 30% *)
+  let est = Xmlest.Summary.estimate_string s "//article//author" in
+  let real =
+    float_of_int
+      (Xmlest.Structural_join.count_pairs doc
+         (Xmlest.Document.nodes_with_tag doc "article")
+         (Xmlest.Document.nodes_with_tag doc "author"))
+  in
+  Alcotest.(check bool) "article//author within 30%" true
+    (Float.abs (est -. real) /. real < 0.3);
+  (* persistence at scale *)
+  match Xmlest.Summary.of_string (Xmlest.Summary.to_string s) with
+  | Ok s' ->
+    check (Alcotest.float 1e-6) "roundtrip estimate" est
+      (Xmlest.Summary.estimate_string s' "//article//author")
+  | Error e -> Alcotest.failf "roundtrip failed: %s" e
+
+let test_multiple_datasets_smoke () =
+  (* Build summaries over each data set and estimate a couple of queries;
+     everything must stay finite and non-negative. *)
+  let datasets =
+    [
+      ("xmark", Xmlest.Xmark_gen.generate ~scale:0.1 (), [ "item"; "description"; "text" ]);
+      ("shakespeare", Xmlest.Shakespeare_gen.generate ~acts:2 (), [ "ACT"; "SCENE"; "LINE" ]);
+    ]
+  in
+  List.iter
+    (fun (name, elem, tags) ->
+      let doc = Xmlest.Document.of_elem elem in
+      let s = Xmlest.Summary.build ~grid_size:10 doc (List.map tagp tags) in
+      List.iter
+        (fun anc ->
+          List.iter
+            (fun desc ->
+              if anc <> desc then begin
+                let est =
+                  Xmlest.Summary.estimate s
+                    (Xmlest.Pattern.twig (tagp anc) [ tagp desc ])
+                in
+                if not (Float.is_finite est) || est < 0.0 then
+                  Alcotest.failf "%s: bad estimate for %s//%s" name anc desc
+              end)
+            tags)
+        tags)
+    datasets
+
+(* --- Advisor ---------------------------------------------------------------- *)
+
+let test_advisor_on_dblp () =
+  let doc = Xmlest.Document.of_elem (Xmlest.Dblp_gen.generate_scaled 0.05) in
+  let preds = Xmlest.Advisor.suggest doc in
+  let names = List.map Xmlest.Predicate.name preds in
+  (* all tags present *)
+  List.iter
+    (fun tag ->
+      Alcotest.(check bool) ("tag " ^ tag) true (List.mem ("tag=" ^ tag) names))
+    [ "article"; "author"; "cite"; "year" ];
+  (* frequent year values become text_eq predicates *)
+  Alcotest.(check bool) "some year value predicate" true
+    (List.exists
+       (fun n -> String.length n > 13 && String.sub n 0 13 = "tag=year&text")
+       names);
+  (* cite keys are individually rare but share prefixes *)
+  Alcotest.(check bool) "cite prefix predicate" true
+    (List.exists
+       (fun n -> String.length n > 15 && String.sub n 0 15 = "tag=cite&prefix")
+       names);
+  (* the suggested set feeds Summary.build directly *)
+  let summary = Xmlest.Summary.build ~grid_size:10 ~with_levels:false doc preds in
+  Alcotest.(check bool) "summary builds" true
+    (Xmlest.Summary.storage_bytes summary > 0)
+
+let test_advisor_respects_caps () =
+  let doc = Xmlest.Document.of_elem (Xmlest.Dblp_gen.generate_scaled 0.02) in
+  let config = { Xmlest.Advisor.default_config with max_per_tag = 3 } in
+  List.iter
+    (fun tag ->
+      Alcotest.(check bool)
+        (tag ^ " capped") true
+        (List.length (Xmlest.Advisor.suggest_content ~config doc ~tag) <= 3))
+    (Xmlest.Document.distinct_tags doc)
+
+let test_advisor_thresholds () =
+  let doc = Xmlest.Document.of_elem (Xmlest.Dblp_gen.generate_scaled 0.02) in
+  (* an unreachable threshold removes all content predicates *)
+  let strict =
+    { Xmlest.Advisor.default_config with value_threshold = 1.1; prefix_threshold = 1.1 }
+  in
+  Alcotest.(check bool) "nothing passes threshold 1.1" true
+    (List.for_all
+       (fun tag -> Xmlest.Advisor.suggest_content ~config:strict doc ~tag = [])
+       (Xmlest.Document.distinct_tags doc));
+  (* lowering thresholds yields strictly more predicates *)
+  let loose =
+    { Xmlest.Advisor.default_config with value_threshold = 0.001; max_per_tag = 1000 }
+  in
+  Alcotest.(check bool) "lower threshold, more predicates" true
+    (List.length (Xmlest.Advisor.suggest ~config:loose doc)
+    >= List.length (Xmlest.Advisor.suggest doc))
+
+let test_advisor_textless_tags () =
+  let doc = Test_util.fig1_doc () in
+  (* fig1 has no text content at all: only tag predicates suggested *)
+  let preds = Xmlest.Advisor.suggest doc in
+  Alcotest.(check bool) "only tag predicates" true
+    (List.for_all
+       (fun p -> match p with Xmlest.Predicate.Tag _ -> true | _ -> false)
+       preds)
+
+(* --- Repl ----------------------------------------------------------------- *)
+
+let contains sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_repl_session () =
+  let state = Xmlest.Repl.create () in
+  let run cmd = Xmlest.Repl.execute state cmd in
+  Alcotest.(check bool) "gen" true (contains "element nodes" (run "gen staff"));
+  Alcotest.(check bool) "stats" true (contains "department" (run "stats"));
+  Alcotest.(check bool) "summarize" true (contains "5 predicates" (run "summarize"));
+  Alcotest.(check bool) "estimate" true (contains "matches" (run "estimate //manager//employee"));
+  Alcotest.(check bool) "explain has method" true
+    (contains "pH-join" (run "explain //manager//department"));
+  Alcotest.(check bool) "exact" true (contains "matches" (run "exact //manager//employee"));
+  Alcotest.(check bool) "plan" true (contains "est. cost" (run "plan //manager//employee"));
+  Alcotest.(check bool) "run" true (contains "matches" (run "run //manager//employee 2"))
+
+let test_repl_roundtrip_summary () =
+  let state = Xmlest.Repl.create () in
+  let run cmd = Xmlest.Repl.execute state cmd in
+  ignore (run "gen staff");
+  ignore (run "summarize 10");
+  let est_before = run "estimate //department//email" in
+  let path = Filename.temp_file "xmlest_repl" ".summary" in
+  Alcotest.(check bool) "save" true (contains "saved" (run ("save-summary " ^ path)));
+  (* fresh state: load only the summary, no document *)
+  let state2 = Xmlest.Repl.create () in
+  let run2 cmd = Xmlest.Repl.execute state2 cmd in
+  Alcotest.(check bool) "load" true
+    (contains "predicates" (run2 ("load-summary " ^ path)));
+  check Alcotest.string "same estimate" est_before
+    (run2 "estimate //department//email");
+  Sys.remove path
+
+let test_repl_errors () =
+  let state = Xmlest.Repl.create () in
+  let run cmd = Xmlest.Repl.execute state cmd in
+  Alcotest.(check bool) "no doc" true (contains "error" (run "stats"));
+  Alcotest.(check bool) "no summary" true (contains "error" (run "estimate //a"));
+  Alcotest.(check bool) "unknown cmd" true (contains "error" (run "frobnicate"));
+  Alcotest.(check bool) "unknown dataset" true (contains "error" (run "gen nope"));
+  Alcotest.(check bool) "bad scale" true (contains "error" (run "gen staff abc"));
+  ignore (run "gen staff");
+  ignore (run "summarize");
+  Alcotest.(check bool) "bad query" true (contains "error" (run "estimate not-a-query"));
+  check Alcotest.string "empty input" "" (run "");
+  Alcotest.(check bool) "help" true (contains "commands" (run "help"))
+
+let test_repl_hist_command () =
+  let state = Xmlest.Repl.create () in
+  let run cmd = Xmlest.Repl.execute state cmd in
+  ignore (run "gen staff");
+  ignore (run "summarize");
+  let out = run "hist department" in
+  Alcotest.(check bool) "heatmap header" true
+    (String.length out > 0 && String.contains out '\\');
+  Alcotest.(check bool) "unknown tag errors" true
+    (let out = run "hist nonexistent" in
+     String.length out >= 5 && String.sub out 0 5 = "error")
+
+let test_repl_equidepth_summarize () =
+  let state = Xmlest.Repl.create () in
+  let run cmd = Xmlest.Repl.execute state cmd in
+  ignore (run "gen staff");
+  Alcotest.(check bool) "equidepth flag" true
+    (contains "equi-depth" (run "summarize 12 equidepth"))
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "summary",
+        [
+          Alcotest.test_case "overlap detection" `Quick test_build_detects_overlap;
+          Alcotest.test_case "coverage exactly for no-overlap" `Quick
+            test_coverage_built_exactly_for_no_overlap;
+          Alcotest.test_case "schema override" `Quick test_schema_override;
+          Alcotest.test_case "node counts exact" `Quick test_node_counts_exact;
+          Alcotest.test_case "on-demand histograms" `Quick
+            test_histogram_on_demand_and_cached;
+          Alcotest.test_case "compound via catalog" `Quick
+            test_compound_histogram_via_catalog;
+          Alcotest.test_case "estimate_string" `Quick test_estimate_string_parses;
+          Alcotest.test_case "storage budget" `Quick test_storage_budget;
+          Alcotest.test_case "grid size respected" `Quick test_grid_size_respected;
+          Alcotest.test_case "equi-depth summary" `Quick test_equidepth_summary;
+          Alcotest.test_case "pp_stats renders" `Quick test_pp_stats_renders;
+        ] );
+      ( "persistence",
+        [
+          Alcotest.test_case "string roundtrip" `Quick test_save_load_roundtrip;
+          Alcotest.test_case "file roundtrip" `Quick test_save_load_file;
+          Alcotest.test_case "equidepth roundtrip" `Quick test_save_load_equidepth;
+          Alcotest.test_case "rejects garbage" `Quick test_load_rejects_garbage;
+          Alcotest.test_case "unknown predicate raises" `Quick
+            test_loaded_summary_unknown_predicate;
+        ] );
+      ( "advisor",
+        [
+          Alcotest.test_case "dblp predicate set" `Quick test_advisor_on_dblp;
+          Alcotest.test_case "per-tag cap" `Quick test_advisor_respects_caps;
+          Alcotest.test_case "thresholds" `Quick test_advisor_thresholds;
+          Alcotest.test_case "textless tags" `Quick test_advisor_textless_tags;
+        ] );
+      ( "repl",
+        [
+          Alcotest.test_case "full session" `Quick test_repl_session;
+          Alcotest.test_case "summary roundtrip" `Quick test_repl_roundtrip_summary;
+          Alcotest.test_case "errors" `Quick test_repl_errors;
+          Alcotest.test_case "equidepth summarize" `Quick test_repl_equidepth_summarize;
+          Alcotest.test_case "hist command" `Quick test_repl_hist_command;
+        ] );
+      ( "end_to_end",
+        [
+          Alcotest.test_case "Table 2 shape on DBLP" `Quick
+            test_end_to_end_dblp_table2_shape;
+          Alcotest.test_case "other data sets smoke" `Quick test_multiple_datasets_smoke;
+          Alcotest.test_case "mid-size integration (55k nodes, g=100)" `Slow
+            test_scale_integration;
+        ] );
+    ]

@@ -1,0 +1,750 @@
+(* Tests for the estimators: pH-join (Fig. 9), no-overlap coverage
+   estimation (Fig. 10), compound-predicate histograms (Sec. 3.4), the twig
+   estimator, and the baselines. *)
+
+open Xmlest_core
+open Xmlest_test_util
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* Clamp to the position count so random (doc, size) draws stay legal. *)
+let grid_of doc size =
+  let max_pos = Xmlest.Document.max_pos doc in
+  Xmlest.Grid.create ~size:(min size (max_pos + 1)) ~max_pos
+
+let hist doc size pred =
+  Xmlest.Position_histogram.build doc ~grid:(grid_of doc size) pred
+
+let tagp = Xmlest.Predicate.tag
+
+let exact doc t1 t2 =
+  Xmlest.Structural_join.count_pairs doc
+    (Xmlest.Document.nodes_with_tag doc t1)
+    (Xmlest.Document.nodes_with_tag doc t2)
+
+(* --- pH-join --------------------------------------------------------------- *)
+
+let test_ph_join_paper_example () =
+  (* Sec. 3.2: faculty-TA on Fig. 1 with 2×2 histograms.  The paper's
+     numbering yields 0.6; with our (slightly different) position
+     assignment the estimate differs in the decimals but must stay far
+     below the naive 15 and the upper bound 5. *)
+  let doc = Test_util.fig1_doc () in
+  let anc = hist doc 2 (tagp "faculty") and desc = hist doc 2 (tagp "TA") in
+  let est = Xmlest.Ph_join.estimate ~anc ~desc () in
+  Alcotest.(check bool) "positive" true (est > 0.0);
+  Alcotest.(check bool) "far below naive (15)" true (est < 5.0)
+
+let test_ph_join_empty () =
+  let doc = Test_util.fig1_doc () in
+  let anc = hist doc 4 (tagp "faculty") in
+  let desc = hist doc 4 (tagp "nonexistent") in
+  check (Alcotest.float 1e-9) "empty desc -> 0" 0.0
+    (Xmlest.Ph_join.estimate ~anc ~desc ());
+  check (Alcotest.float 1e-9) "empty anc -> 0" 0.0
+    (Xmlest.Ph_join.estimate ~anc:desc ~desc:anc ())
+
+let test_ph_join_incompatible_grids () =
+  let doc = Test_util.fig1_doc () in
+  let anc = hist doc 4 (tagp "faculty") and desc = hist doc 8 (tagp "TA") in
+  Alcotest.check_raises "grid mismatch"
+    (Invalid_argument "Ph_join: histograms have incompatible grids") (fun () ->
+      ignore (Xmlest.Ph_join.estimate ~anc ~desc ()))
+
+(* The decisive correctness property: with one position per bucket the
+   geometric weights become exact, so the pH-join estimate equals the true
+   join size — in both directions. *)
+let fine_grid_exact direction =
+  QCheck.Test.make ~count:150
+    ~name:
+      (match direction with
+      | Xmlest.Ph_join.Ancestor_based -> "fine-grid exactness (ancestor-based)"
+      | Xmlest.Ph_join.Descendant_based -> "fine-grid exactness (descendant-based)")
+    (Test_util.doc_two_tags_arbitrary ~max_nodes:40 ())
+    (fun (_, doc, t1, t2) ->
+      (* Disjoint node sets: for self-joins (t1 = t2) the shared-cell 1/4
+         weight also counts pairing a node with itself, so even fine grids
+         stay approximate — as in the paper, which always joins two
+         distinct predicates. *)
+      QCheck.assume (t1 <> t2);
+      let g =
+        Xmlest.Grid.create
+          ~size:(Xmlest.Document.max_pos doc + 1)
+          ~max_pos:(Xmlest.Document.max_pos doc)
+      in
+      let anc = Xmlest.Position_histogram.build doc ~grid:g (tagp t1) in
+      let desc = Xmlest.Position_histogram.build doc ~grid:g (tagp t2) in
+      let est = Xmlest.Ph_join.estimate ~direction ~anc ~desc () in
+      Test_util.float_close est (float_of_int (exact doc t1 t2)))
+
+let prop_fine_grid_anc = fine_grid_exact Xmlest.Ph_join.Ancestor_based
+let prop_fine_grid_desc = fine_grid_exact Xmlest.Ph_join.Descendant_based
+
+let prop_ph_join_nonnegative =
+  QCheck.Test.make ~count:200 ~name:"pH-join estimate is non-negative"
+    QCheck.(pair (Test_util.doc_two_tags_arbitrary ~max_nodes:60 ()) (int_range 1 12))
+    (fun ((_, doc, t1, t2), size) ->
+      let anc = hist doc size (tagp t1) and desc = hist doc size (tagp t2) in
+      Xmlest.Ph_join.estimate ~anc ~desc () >= 0.0
+      && Xmlest.Ph_join.estimate ~direction:Xmlest.Ph_join.Descendant_based ~anc
+           ~desc ()
+         >= 0.0)
+
+let prop_ph_join_below_naive =
+  QCheck.Test.make ~count:200 ~name:"pH-join estimate <= naive product"
+    QCheck.(pair (Test_util.doc_two_tags_arbitrary ~max_nodes:60 ()) (int_range 1 12))
+    (fun ((_, doc, t1, t2), size) ->
+      let anc = hist doc size (tagp t1) and desc = hist doc size (tagp t2) in
+      let naive =
+        Xmlest.Position_histogram.total anc *. Xmlest.Position_histogram.total desc
+      in
+      Xmlest.Ph_join.estimate ~anc ~desc () <= naive +. 1e-6)
+
+let test_ph_join_single_bucket_degenerate () =
+  (* With g = 1 everything collapses into the single on-diagonal cell:
+     estimate = |anc| × |desc| / 12. *)
+  let doc = Test_util.fig1_doc () in
+  let anc = hist doc 1 (tagp "faculty") and desc = hist doc 1 (tagp "TA") in
+  check (Alcotest.float 1e-9) "n*m/12" (3.0 *. 5.0 /. 12.0)
+    (Xmlest.Ph_join.estimate ~anc ~desc ())
+
+let test_ph_join_estimate_cells_total () =
+  let doc = Xmlest.Document.of_elem (Xmlest.Staff_gen.generate ()) in
+  let anc = hist doc 10 (tagp "department") and desc = hist doc 10 (tagp "email") in
+  let cells = Xmlest.Ph_join.estimate_cells ~anc ~desc () in
+  check (Alcotest.float 1e-6) "cells sum to total"
+    (Xmlest.Ph_join.estimate ~anc ~desc ())
+    (Xmlest.Position_histogram.total cells)
+
+let test_coefficients_match_join () =
+  (* The precomputed coefficient array reproduces the ancestor-based
+     estimate: Σ anc[i][j] × coef[i][j]. *)
+  let doc = Xmlest.Document.of_elem (Xmlest.Staff_gen.generate ()) in
+  let g = grid_of doc 10 in
+  let anc = Xmlest.Position_histogram.build doc ~grid:g (tagp "manager") in
+  let desc = Xmlest.Position_histogram.build doc ~grid:g (tagp "employee") in
+  let coef = Xmlest.Ph_join.descendant_coefficients desc in
+  let total = ref 0.0 in
+  Xmlest.Position_histogram.iter_nonzero anc (fun ~i ~j c ->
+      total := !total +. (c *. coef.((i * 10) + j)));
+  check (Alcotest.float 1e-6) "coefficient form agrees"
+    (Xmlest.Ph_join.estimate ~anc ~desc ())
+    !total
+
+let prop_cell_pair_weights_sum_to_estimate =
+  QCheck.Test.make ~count:150 ~name:"cell-pair weights sum to pH-join estimate"
+    QCheck.(pair (Test_util.doc_two_tags_arbitrary ~max_nodes:50 ()) (int_range 1 10))
+    (fun ((_, doc, t1, t2), size) ->
+      let anc = hist doc size (tagp t1) and desc = hist doc size (tagp t2) in
+      let check direction =
+        let by_pairs = ref 0.0 in
+        Xmlest.Position_histogram.iter_nonzero anc (fun ~i ~j a ->
+            Xmlest.Position_histogram.iter_nonzero desc (fun ~i:k ~j:l d ->
+                by_pairs :=
+                  !by_pairs
+                  +. a *. d
+                     *. Xmlest.Ph_join.cell_pair_weight ~direction ~anc:(i, j)
+                          ~desc:(k, l) ()));
+        Test_util.float_close ~tolerance:1e-9 !by_pairs
+          (Xmlest.Ph_join.estimate ~direction ~anc ~desc ())
+      in
+      check Xmlest.Ph_join.Ancestor_based && check Xmlest.Ph_join.Descendant_based)
+
+let prop_sparse_equals_dense =
+  QCheck.Test.make ~count:200 ~name:"sparse pH-join = dense pH-join"
+    QCheck.(pair (Test_util.doc_two_tags_arbitrary ~max_nodes:60 ()) (int_range 1 16))
+    (fun ((_, doc, t1, t2), size) ->
+      let anc = hist doc size (tagp t1) and desc = hist doc size (tagp t2) in
+      let both direction =
+        Test_util.float_close ~tolerance:1e-9
+          (Xmlest.Ph_join.estimate ~direction ~anc ~desc ())
+          (Xmlest.Ph_join.estimate_sparse ~direction ~anc ~desc ())
+      in
+      both Xmlest.Ph_join.Ancestor_based && both Xmlest.Ph_join.Descendant_based)
+
+let test_sparse_on_real_data () =
+  let doc = Xmlest.Document.of_elem (Xmlest.Dblp_gen.generate_scaled 0.02) in
+  List.iter
+    (fun size ->
+      let anc = hist doc size (tagp "article") and desc = hist doc size (tagp "author") in
+      check (Alcotest.float 1e-6)
+        (Printf.sprintf "g=%d" size)
+        (Xmlest.Ph_join.estimate ~anc ~desc ())
+        (Xmlest.Ph_join.estimate_sparse ~anc ~desc ()))
+    [ 1; 2; 10; 50; 200 ]
+
+(* --- Child_join / Level_position_histogram (extension) --------------------- *)
+
+let lph doc size pred =
+  Xmlest.Level_position_histogram.build doc ~grid:(grid_of doc size) pred
+
+let test_lph_totals_match_hist () =
+  let doc = Xmlest.Document.of_elem (Xmlest.Staff_gen.generate ()) in
+  let pred = tagp "employee" in
+  let h = hist doc 10 pred and l = lph doc 10 pred in
+  check (Alcotest.float 1e-9) "grand totals agree"
+    (Xmlest.Position_histogram.total h)
+    (Xmlest.Level_position_histogram.total l);
+  Xmlest.Position_histogram.iter_nonzero h (fun ~i ~j v ->
+      check (Alcotest.float 1e-9)
+        (Printf.sprintf "cell (%d,%d)" i j)
+        v
+        (Xmlest.Level_position_histogram.cell_total l ~i ~j))
+
+let prop_child_join_fine_grid_exact =
+  QCheck.Test.make ~count:120 ~name:"child join fine-grid exactness"
+    (Test_util.doc_two_tags_arbitrary ~max_nodes:40 ())
+    (fun (_, doc, t1, t2) ->
+      QCheck.assume (t1 <> t2);
+      let g =
+        Xmlest.Grid.create
+          ~size:(Xmlest.Document.max_pos doc + 1)
+          ~max_pos:(Xmlest.Document.max_pos doc)
+      in
+      let anc = Xmlest.Position_histogram.build doc ~grid:g (tagp t1) in
+      let desc = Xmlest.Position_histogram.build doc ~grid:g (tagp t2) in
+      let anc_levels = Xmlest.Level_position_histogram.build doc ~grid:g (tagp t1) in
+      let desc_levels = Xmlest.Level_position_histogram.build doc ~grid:g (tagp t2) in
+      let est = Xmlest.Child_join.estimate ~anc ~desc ~anc_levels ~desc_levels () in
+      let real =
+        Test_util.brute_force_pairs doc (tagp t1) (tagp t2) ~axis:`Child
+      in
+      Test_util.float_close est (float_of_int real))
+
+let prop_child_join_bounded_by_ph_join =
+  QCheck.Test.make ~count:120 ~name:"child join <= ancestor-based pH-join"
+    QCheck.(pair (Test_util.doc_two_tags_arbitrary ~max_nodes:50 ()) (int_range 1 10))
+    (fun ((_, doc, t1, t2), size) ->
+      let anc = hist doc size (tagp t1) and desc = hist doc size (tagp t2) in
+      let anc_levels = lph doc size (tagp t1) in
+      let desc_levels = lph doc size (tagp t2) in
+      Xmlest.Child_join.estimate ~anc ~desc ~anc_levels ~desc_levels ()
+      <= Xmlest.Ph_join.estimate ~anc ~desc () +. 1e-9)
+
+let test_child_join_staff () =
+  let doc = Xmlest.Document.of_elem (Xmlest.Staff_gen.generate ()) in
+  let anc = hist doc 10 (tagp "manager") and desc = hist doc 10 (tagp "department") in
+  let anc_levels = lph doc 10 (tagp "manager") in
+  let desc_levels = lph doc 10 (tagp "department") in
+  let child_est = Xmlest.Child_join.estimate ~anc ~desc ~anc_levels ~desc_levels () in
+  let anc_desc_est = Xmlest.Ph_join.estimate ~anc ~desc () in
+  let real_child =
+    Xmlest.Structural_join.count_pairs ~axis:`Child doc
+      (Xmlest.Document.nodes_with_tag doc "manager")
+      (Xmlest.Document.nodes_with_tag doc "department")
+  in
+  let real_desc =
+    Xmlest.Structural_join.count_pairs doc
+      (Xmlest.Document.nodes_with_tag doc "manager")
+      (Xmlest.Document.nodes_with_tag doc "department")
+  in
+  (* the child estimate must be closer to the child truth than the plain
+     ancestor-descendant estimate is *)
+  Alcotest.(check bool) "child estimate is an improvement" true
+    (Float.abs (child_est -. float_of_int real_child)
+    < Float.abs (anc_desc_est -. float_of_int real_child));
+  Alcotest.(check bool) "sanity: child < descendant truth" true
+    (real_child <= real_desc)
+
+(* --- Fenwick ----------------------------------------------------------------- *)
+
+let test_fenwick_basics () =
+  let t = Xmlest.Fenwick.create 10 in
+  Xmlest.Fenwick.add t 0 1.0;
+  Xmlest.Fenwick.add t 3 2.5;
+  Xmlest.Fenwick.add t 9 4.0;
+  check (Alcotest.float 1e-9) "prefix 0" 1.0 (Xmlest.Fenwick.prefix_sum t 0);
+  check (Alcotest.float 1e-9) "prefix 2" 1.0 (Xmlest.Fenwick.prefix_sum t 2);
+  check (Alcotest.float 1e-9) "prefix 3" 3.5 (Xmlest.Fenwick.prefix_sum t 3);
+  check (Alcotest.float 1e-9) "prefix 9" 7.5 (Xmlest.Fenwick.prefix_sum t 9);
+  check (Alcotest.float 1e-9) "negative" 0.0 (Xmlest.Fenwick.prefix_sum t (-1));
+  check (Alcotest.float 1e-9) "range" 6.5 (Xmlest.Fenwick.range_sum t ~lo:1 ~hi:9);
+  check (Alcotest.float 1e-9) "empty range" 0.0 (Xmlest.Fenwick.range_sum t ~lo:5 ~hi:4);
+  check (Alcotest.float 1e-9) "total" 7.5 (Xmlest.Fenwick.total t)
+
+let prop_fenwick_matches_array =
+  QCheck.Test.make ~count:200 ~name:"fenwick = array prefix sums"
+    QCheck.(pair (int_range 1 50) (int_bound 100_000))
+    (fun (n, seed) ->
+      let rng = Xmlest.Splitmix.create seed in
+      let t = Xmlest.Fenwick.create n in
+      let model = Array.make n 0.0 in
+      for _ = 1 to 40 do
+        let i = Xmlest.Splitmix.int rng n in
+        let v = Xmlest.Splitmix.float rng 10.0 -. 5.0 in
+        Xmlest.Fenwick.add t i v;
+        model.(i) <- model.(i) +. v
+      done;
+      let ok = ref true in
+      let acc = ref 0.0 in
+      for i = 0 to n - 1 do
+        acc := !acc +. model.(i);
+        if not (Test_util.float_close ~tolerance:1e-9 !acc (Xmlest.Fenwick.prefix_sum t i))
+        then ok := false
+      done;
+      !ok)
+
+(* --- Order join (following axis, extension) --------------------------------- *)
+
+let test_following_fig1 () =
+  let doc = Test_util.fig1_doc () in
+  (* TAs following faculties: lecturer's 3 TAs follow faculty 1 and 2;
+     faculty 3's TAs follow faculties 1 and 2 as well. *)
+  let before = hist doc 31 (tagp "faculty") and after = hist doc 31 (tagp "TA") in
+  let est = Xmlest.Order_join.estimate ~before ~after () in
+  let real =
+    Xmlest.Structural_join.count_following doc
+      (Xmlest.Document.nodes_with_tag doc "faculty")
+      (Xmlest.Document.nodes_with_tag doc "TA")
+  in
+  Alcotest.(check bool) "positive" true (est > 0.0);
+  Alcotest.(check bool) "right magnitude" true
+    (est > 0.5 *. float_of_int real && est < 2.0 *. float_of_int real)
+
+let test_count_following_brute () =
+  let doc = Test_util.fig1_doc () in
+  let brute t1 t2 =
+    let total = ref 0 in
+    Array.iter
+      (fun u ->
+        Array.iter
+          (fun v ->
+            if Xmlest.Document.end_pos doc u < Xmlest.Document.start_pos doc v
+            then incr total)
+          (Xmlest.Document.nodes_with_tag doc t2))
+      (Xmlest.Document.nodes_with_tag doc t1);
+    !total
+  in
+  List.iter
+    (fun (t1, t2) ->
+      check Alcotest.int
+        (Printf.sprintf "%s before %s" t1 t2)
+        (brute t1 t2)
+        (Xmlest.Structural_join.count_following doc
+           (Xmlest.Document.nodes_with_tag doc t1)
+           (Xmlest.Document.nodes_with_tag doc t2)))
+    [ ("faculty", "TA"); ("TA", "RA"); ("RA", "RA"); ("department", "TA") ]
+
+let prop_following_fine_grid_exact =
+  QCheck.Test.make ~count:150 ~name:"following fine-grid exactness"
+    (Test_util.doc_two_tags_arbitrary ~max_nodes:40 ())
+    (fun (_, doc, t1, t2) ->
+      let g =
+        Xmlest.Grid.create
+          ~size:(Xmlest.Document.max_pos doc + 1)
+          ~max_pos:(Xmlest.Document.max_pos doc)
+      in
+      let before = Xmlest.Position_histogram.build doc ~grid:g (tagp t1) in
+      let after = Xmlest.Position_histogram.build doc ~grid:g (tagp t2) in
+      let est = Xmlest.Order_join.estimate ~before ~after () in
+      let real =
+        Xmlest.Structural_join.count_following doc
+          (Xmlest.Document.nodes_with_tag doc t1)
+          (Xmlest.Document.nodes_with_tag doc t2)
+      in
+      Test_util.float_close est (float_of_int real))
+
+let prop_following_bounded =
+  QCheck.Test.make ~count:150 ~name:"following estimate bounded by product"
+    QCheck.(pair (Test_util.doc_two_tags_arbitrary ~max_nodes:60 ()) (int_range 1 12))
+    (fun ((_, doc, t1, t2), size) ->
+      let before = hist doc size (tagp t1) and after = hist doc size (tagp t2) in
+      let est = Xmlest.Order_join.estimate ~before ~after () in
+      est >= 0.0
+      && est
+         <= (Xmlest.Position_histogram.total before
+            *. Xmlest.Position_histogram.total after)
+            +. 1e-6)
+
+(* --- No-overlap estimation -------------------------------------------------- *)
+
+let test_no_overlap_fig1 () =
+  (* Sec. 4.2's example: faculty-TA with coverage gives ~1.9 vs real 2 in
+     the paper; with our numbering it must land within [1, 3] and beat the
+     primitive estimate's distance to the truth. *)
+  let doc = Test_util.fig1_doc () in
+  let g = grid_of doc 2 in
+  let cvg = Xmlest.Coverage_histogram.build doc ~grid:g (tagp "faculty") in
+  let desc = Xmlest.Position_histogram.build doc ~grid:g (tagp "TA") in
+  let est = Xmlest.No_overlap.estimate ~desc ~coverage:cvg in
+  Alcotest.(check bool) "within [1,3]" true (est >= 1.0 && est <= 3.0)
+
+let prop_no_overlap_upper_bound =
+  QCheck.Test.make ~count:150
+    ~name:"no-overlap estimate <= descendant count"
+    QCheck.(pair (Test_util.doc_two_tags_arbitrary ~max_nodes:60 ()) (int_range 1 10))
+    (fun ((_, doc, t1, t2), size) ->
+      let g = grid_of doc size in
+      let cvg = Xmlest.Coverage_histogram.build doc ~grid:g (tagp t1) in
+      let desc = Xmlest.Position_histogram.build doc ~grid:g (tagp t2) in
+      Xmlest.No_overlap.estimate ~desc ~coverage:cvg
+      <= Xmlest.Position_histogram.total desc +. 1e-6)
+
+let prop_no_overlap_fine_grid_exact =
+  (* With one position per bucket and a genuinely no-overlap ancestor
+     predicate, coverage fractions are 0/1 and the estimate is exact. *)
+  QCheck.Test.make ~count:150 ~name:"no-overlap fine-grid exactness"
+    (Test_util.doc_two_tags_arbitrary ~max_nodes:40 ())
+    (fun (_, doc, t1, t2) ->
+      QCheck.assume (t1 <> t2);
+      let nodes1 = Xmlest.Document.nodes_with_tag doc t1 in
+      QCheck.assume (not (Xmlest.Interval_ops.has_nesting doc nodes1));
+      let g =
+        Xmlest.Grid.create
+          ~size:(Xmlest.Document.max_pos doc + 1)
+          ~max_pos:(Xmlest.Document.max_pos doc)
+      in
+      let cvg = Xmlest.Coverage_histogram.build doc ~grid:g (tagp t1) in
+      let desc = Xmlest.Position_histogram.build doc ~grid:g (tagp t2) in
+      Test_util.float_close
+        (Xmlest.No_overlap.estimate ~desc ~coverage:cvg)
+        (float_of_int (exact doc t1 t2)))
+
+let test_participation_saturation () =
+  let open Xmlest.No_overlap in
+  check (Alcotest.float 1e-9) "no ancestors" 0.0
+    (participation_saturation ~n:0.0 ~m:5.0);
+  check (Alcotest.float 1e-9) "no descendants" 0.0
+    (participation_saturation ~n:5.0 ~m:0.0);
+  check (Alcotest.float 1e-9) "single ancestor" 1.0
+    (participation_saturation ~n:1.0 ~m:3.0);
+  let p = participation_saturation ~n:10.0 ~m:5.0 in
+  Alcotest.(check bool) "bounded by n" true (p <= 10.0);
+  Alcotest.(check bool) "bounded by m" true (p <= 5.0 +. 1e-9);
+  Alcotest.(check bool) "positive" true (p > 0.0);
+  (* many descendants saturate all ancestors *)
+  let sat = participation_saturation ~n:10.0 ~m:10_000.0 in
+  Alcotest.(check bool) "saturates to n" true (sat > 9.9)
+
+(* --- Compound predicates ----------------------------------------------------- *)
+
+let test_compound_or_disjoint () =
+  let doc = Xmlest.Document.of_elem (Xmlest.Dblp_gen.generate_scaled 0.02) in
+  let g = grid_of doc 10 in
+  let population = Xmlest.Position_histogram.population doc ~grid:g in
+  let base p = Some (Xmlest.Position_histogram.build doc ~grid:g p) in
+  let decade d =
+    Xmlest.Predicate.any_of
+      (List.init 10 (fun k ->
+           Xmlest.Predicate.text_eq ~tag:"year" (string_of_int (d + k))))
+  in
+  let estimated =
+    Xmlest.Compound.estimate ~disjoint_or:true ~population ~base (decade 1980)
+  in
+  let exact_count = float_of_int (Xmlest.Predicate.count doc (decade 1980)) in
+  (* With disjoint_or the sum of disjoint leaves is exact. *)
+  check (Alcotest.float 0.5) "disjoint or exact" exact_count
+    (Xmlest.Position_histogram.total estimated)
+
+let test_compound_not () =
+  let doc = Test_util.fig1_doc () in
+  let g = grid_of doc 4 in
+  let population = Xmlest.Position_histogram.population doc ~grid:g in
+  let base p =
+    match p with
+    | Xmlest.Predicate.Not _ -> None
+    | p -> Some (Xmlest.Position_histogram.build doc ~grid:g p)
+  in
+  let not_ra =
+    Xmlest.Compound.estimate ~population ~base (Xmlest.Predicate.Not (tagp "RA"))
+  in
+  check (Alcotest.float 1e-6) "complement count"
+    (float_of_int (Xmlest.Document.size doc - 10))
+    (Xmlest.Position_histogram.total not_ra)
+
+let test_compound_and_independence () =
+  (* A ∧ A estimated under independence gives Σ aᵢ²/popᵢ, which must be
+     <= count(A) and > 0 for a non-trivial A. *)
+  let doc = Test_util.fig1_doc () in
+  let g = grid_of doc 4 in
+  let population = Xmlest.Position_histogram.population doc ~grid:g in
+  let base p =
+    match p with
+    | Xmlest.Predicate.And _ -> None
+    | p -> Some (Xmlest.Position_histogram.build doc ~grid:g p)
+  in
+  let a_and_a =
+    Xmlest.Compound.estimate ~population ~base
+      (Xmlest.Predicate.And (tagp "RA", tagp "RA"))
+  in
+  let total = Xmlest.Position_histogram.total a_and_a in
+  Alcotest.(check bool) "0 < est <= 10" true (total > 0.0 && total <= 10.0 +. 1e-9)
+
+let test_compound_true_is_population () =
+  let doc = Test_util.fig1_doc () in
+  let g = grid_of doc 4 in
+  let population = Xmlest.Position_histogram.population doc ~grid:g in
+  let base p =
+    match p with
+    | Xmlest.Predicate.True -> None
+    | p -> Some (Xmlest.Position_histogram.build doc ~grid:g p)
+  in
+  let t = Xmlest.Compound.estimate ~population ~base Xmlest.Predicate.True in
+  check (Alcotest.float 1e-9) "TRUE = population"
+    (Xmlest.Position_histogram.total population)
+    (Xmlest.Position_histogram.total t)
+
+(* --- Baselines ---------------------------------------------------------------- *)
+
+let test_baselines () =
+  check (Alcotest.float 1e-9) "naive" 15.0
+    (Xmlest.Baselines.naive ~anc_count:3 ~desc_count:5);
+  check (Alcotest.float 1e-9) "upper bound" 5.0
+    (Xmlest.Baselines.descendant_upper_bound ~desc_count:5)
+
+(* --- Twig estimator ------------------------------------------------------------ *)
+
+let catalog doc size preds =
+  let size = min size (Xmlest.Document.max_pos doc + 1) in
+  Xmlest.Summary.catalog (Xmlest.Summary.build ~grid_size:size doc preds)
+
+let test_twig_single_node_estimate () =
+  let doc = Test_util.fig1_doc () in
+  let c = catalog doc 4 [ tagp "TA" ] in
+  check (Alcotest.float 1e-9) "single node = count" 5.0
+    (Xmlest.Twig_estimator.estimate c (Xmlest.Pattern.leaf (tagp "TA")))
+
+let test_twig_pair_equals_pairwise_overlap () =
+  (* With no-overlap disabled, the 2-node twig estimate must equal the raw
+     pH-join estimate. *)
+  let doc = Xmlest.Document.of_elem (Xmlest.Staff_gen.generate ()) in
+  let c = catalog doc 10 [ tagp "manager"; tagp "department" ] in
+  let options =
+    { Xmlest.Twig_estimator.default_options with use_no_overlap = false }
+  in
+  let via_twig =
+    Xmlest.Twig_estimator.estimate_pair ~options c ~anc:(tagp "manager")
+      ~desc:(tagp "department")
+  in
+  let anc = hist doc 10 (tagp "manager") and desc = hist doc 10 (tagp "department") in
+  check (Alcotest.float 1e-6) "twig = pH-join" (Xmlest.Ph_join.estimate ~anc ~desc ())
+    via_twig
+
+let test_twig_pair_equals_pairwise_no_overlap () =
+  let doc = Xmlest.Document.of_elem (Xmlest.Staff_gen.generate ()) in
+  let c = catalog doc 10 [ tagp "employee"; tagp "name" ] in
+  let via_twig =
+    Xmlest.Twig_estimator.estimate_pair c ~anc:(tagp "employee") ~desc:(tagp "name")
+  in
+  let g = grid_of doc 10 in
+  let cvg = Xmlest.Coverage_histogram.build doc ~grid:g (tagp "employee") in
+  let desc = Xmlest.Position_histogram.build doc ~grid:g (tagp "name") in
+  check (Alcotest.float 1e-6) "twig = coverage estimate"
+    (Xmlest.No_overlap.estimate ~desc ~coverage:cvg)
+    via_twig
+
+let test_twig_branching_estimate_reasonable () =
+  (* Fig. 2's query on Fig. 1's document: faculty[TA][RA], real answer 4.
+     The estimate must be positive and well below the naive 3×5×10 = 150. *)
+  let doc = Test_util.fig1_doc () in
+  let c = catalog doc 4 [ tagp "faculty"; tagp "TA"; tagp "RA" ] in
+  let pat = Xmlest.Pattern.twig (tagp "faculty") [ tagp "TA"; tagp "RA" ] in
+  let est = Xmlest.Twig_estimator.estimate c pat in
+  Alcotest.(check bool) "positive" true (est > 0.0);
+  Alcotest.(check bool) "below naive" true (est < 50.0)
+
+let test_twig_chain_estimate () =
+  let doc = Xmlest.Document.of_elem (Xmlest.Staff_gen.generate ()) in
+  let preds = [ tagp "manager"; tagp "department"; tagp "employee" ] in
+  let c = catalog doc 10 preds in
+  let pat = Xmlest.Pattern.chain preds in
+  let est = Xmlest.Twig_estimator.estimate c pat in
+  let real =
+    float_of_int (Xmlest.Twig_count.count doc (Xmlest.Pattern.chain preds))
+  in
+  Alcotest.(check bool) "positive" true (est > 0.0);
+  Alcotest.(check bool) "within 5x of real" true
+    (est < 5.0 *. real && est > real /. 5.0)
+
+let prop_twig_estimate_nonnegative =
+  QCheck.Test.make ~count:100 ~name:"twig estimates are non-negative and finite"
+    QCheck.(pair (Test_util.doc_two_tags_arbitrary ~max_nodes:50 ()) (int_range 2 8))
+    (fun ((_, doc, t1, t2), size) ->
+      let c = catalog doc size [ tagp t1; tagp t2 ] in
+      let pat = Xmlest.Pattern.twig (tagp t1) [ tagp t2 ] in
+      let est = Xmlest.Twig_estimator.estimate c pat in
+      Float.is_finite est && est >= 0.0)
+
+let prop_twig_estimate_accuracy_on_dblp_style =
+  (* On flat catalog-like data the pairwise no-overlap estimate should be
+     close to the truth (the paper's headline result).  Checked on scaled
+     DBLP samples with different seeds. *)
+  QCheck.Test.make ~count:8 ~name:"no-overlap accuracy on DBLP-style data"
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let doc =
+        Xmlest.Document.of_elem (Xmlest.Dblp_gen.generate_scaled ~seed 0.02)
+      in
+      let c = catalog doc 10 [ tagp "article"; tagp "author" ] in
+      let est =
+        Xmlest.Twig_estimator.estimate_pair c ~anc:(tagp "article")
+          ~desc:(tagp "author")
+      in
+      let real = float_of_int (exact doc "article" "author") in
+      est > 0.5 *. real && est < 1.5 *. real)
+
+let test_level_correction_helps_child_queries () =
+  (* Extension: //department/email on the staff data.  The corrected
+     estimate must not be further from the child-axis truth than the
+     uncorrected one. *)
+  let doc = Xmlest.Document.of_elem (Xmlest.Staff_gen.generate ()) in
+  let c = catalog doc 10 [ tagp "department"; tagp "email" ] in
+  let pat =
+    Xmlest.Pattern.node
+      ~edges:[ (Xmlest.Pattern.Child, Xmlest.Pattern.leaf (tagp "email")) ]
+      (tagp "department")
+  in
+  let plain = Xmlest.Twig_estimator.estimate c pat in
+  let corrected =
+    Xmlest.Twig_estimator.estimate
+      ~options:{ Xmlest.Twig_estimator.default_options with child_mode = Xmlest.Twig_estimator.Level_scaled }
+      c pat
+  in
+  let real = float_of_int (Xmlest.Twig_count.count doc pat) in
+  Alcotest.(check bool) "correction not worse" true
+    (Float.abs (corrected -. real) <= Float.abs (plain -. real) +. 1e-6)
+
+let test_descendant_direction_composition () =
+  (* With the descendant-based direction, a 2-node twig must equal the raw
+     descendant-based pH-join, and longer chains stay finite and keyed
+     correctly. *)
+  let doc = Xmlest.Document.of_elem (Xmlest.Staff_gen.generate ()) in
+  let preds = [ tagp "manager"; tagp "department"; tagp "employee" ] in
+  let c = catalog doc 10 preds in
+  let options =
+    { Xmlest.Twig_estimator.default_options with
+      direction = Xmlest.Ph_join.Descendant_based;
+      use_no_overlap = false;
+    }
+  in
+  let pair =
+    Xmlest.Twig_estimator.estimate ~options c
+      (Xmlest.Pattern.twig (tagp "manager") [ tagp "department" ])
+  in
+  let anc = hist doc 10 (tagp "manager") and desc = hist doc 10 (tagp "department") in
+  check (Alcotest.float 1e-6) "pair = raw desc-based"
+    (Xmlest.Ph_join.estimate ~direction:Xmlest.Ph_join.Descendant_based ~anc
+       ~desc ())
+    pair;
+  let chain =
+    Xmlest.Twig_estimator.estimate ~options c (Xmlest.Pattern.chain preds)
+  in
+  let real = float_of_int (Xmlest.Twig_count.count doc (Xmlest.Pattern.chain preds)) in
+  Alcotest.(check bool) "chain sane" true
+    (Float.is_finite chain && chain > real /. 10.0 && chain < real *. 10.0)
+
+let test_star_pattern_estimate () =
+  (* '*' nodes use the TRUE (population) histogram. *)
+  let doc = Test_util.fig1_doc () in
+  let c = catalog doc 4 [ tagp "RA" ] in
+  let pat =
+    Xmlest.Pattern.node
+      ~edges:[ (Xmlest.Pattern.Descendant, Xmlest.Pattern.leaf (tagp "RA")) ]
+      Xmlest.Predicate.True
+  in
+  let est = Xmlest.Twig_estimator.estimate c pat in
+  (* every RA has at least one ancestor; estimate must be positive, finite
+     and below nodes × RAs *)
+  Alcotest.(check bool) "positive finite" true (Float.is_finite est && est > 0.0);
+  Alcotest.(check bool) "below naive" true (est <= 31.0 *. 10.0)
+
+let test_estimate_trace () =
+  let doc = Xmlest.Document.of_elem (Xmlest.Staff_gen.generate ()) in
+  let c =
+    catalog doc 10 [ tagp "manager"; tagp "department"; tagp "employee" ]
+  in
+  let pattern =
+    Xmlest.Pattern.chain [ tagp "manager"; tagp "department"; tagp "employee" ]
+  in
+  let total, steps = Xmlest.Twig_estimator.estimate_trace c pattern in
+  check Alcotest.int "two join steps" 2 (List.length steps);
+  (match List.rev steps with
+  | last :: _ ->
+    check (Alcotest.float 1e-9) "last step = total" total
+      last.Xmlest.Twig_estimator.estimate;
+    Alcotest.(check bool) "method recorded" true
+      (last.Xmlest.Twig_estimator.method_used <> "")
+  | [] -> Alcotest.fail "no steps");
+  check (Alcotest.float 1e-9) "trace total = estimate"
+    (Xmlest.Twig_estimator.estimate c pattern)
+    total
+
+let () =
+  Alcotest.run "estimate"
+    [
+      ( "ph_join",
+        [
+          Alcotest.test_case "paper example magnitude" `Quick test_ph_join_paper_example;
+          Alcotest.test_case "empty inputs" `Quick test_ph_join_empty;
+          Alcotest.test_case "incompatible grids" `Quick test_ph_join_incompatible_grids;
+          Alcotest.test_case "single-bucket degenerate" `Quick
+            test_ph_join_single_bucket_degenerate;
+          Alcotest.test_case "cells sum to total" `Quick test_ph_join_estimate_cells_total;
+          Alcotest.test_case "precomputed coefficients" `Quick test_coefficients_match_join;
+          qcheck prop_fine_grid_anc;
+          qcheck prop_fine_grid_desc;
+          qcheck prop_ph_join_nonnegative;
+          qcheck prop_ph_join_below_naive;
+          qcheck prop_cell_pair_weights_sum_to_estimate;
+          qcheck prop_sparse_equals_dense;
+          Alcotest.test_case "sparse = dense on DBLP sample" `Quick
+            test_sparse_on_real_data;
+        ] );
+      ( "fenwick",
+        [
+          Alcotest.test_case "basics" `Quick test_fenwick_basics;
+          qcheck prop_fenwick_matches_array;
+        ] );
+      ( "order_join",
+        [
+          Alcotest.test_case "fig1 magnitude" `Quick test_following_fig1;
+          Alcotest.test_case "exact counter vs brute force" `Quick
+            test_count_following_brute;
+          qcheck prop_following_fine_grid_exact;
+          qcheck prop_following_bounded;
+        ] );
+      ( "child_join",
+        [
+          Alcotest.test_case "level-position totals" `Quick test_lph_totals_match_hist;
+          Alcotest.test_case "improves on staff data" `Quick test_child_join_staff;
+          qcheck prop_child_join_fine_grid_exact;
+          qcheck prop_child_join_bounded_by_ph_join;
+        ] );
+      ( "no_overlap",
+        [
+          Alcotest.test_case "fig1 faculty-TA" `Quick test_no_overlap_fig1;
+          Alcotest.test_case "participation saturation" `Quick
+            test_participation_saturation;
+          qcheck prop_no_overlap_upper_bound;
+          qcheck prop_no_overlap_fine_grid_exact;
+        ] );
+      ( "compound",
+        [
+          Alcotest.test_case "disjoint or (decades)" `Quick test_compound_or_disjoint;
+          Alcotest.test_case "not" `Quick test_compound_not;
+          Alcotest.test_case "and under independence" `Quick
+            test_compound_and_independence;
+          Alcotest.test_case "true = population" `Quick test_compound_true_is_population;
+        ] );
+      ("baselines", [ Alcotest.test_case "formulas" `Quick test_baselines ]);
+      ( "twig",
+        [
+          Alcotest.test_case "single node" `Quick test_twig_single_node_estimate;
+          Alcotest.test_case "pair = pH-join (overlap)" `Quick
+            test_twig_pair_equals_pairwise_overlap;
+          Alcotest.test_case "pair = coverage (no-overlap)" `Quick
+            test_twig_pair_equals_pairwise_no_overlap;
+          Alcotest.test_case "branching twig (Fig. 2)" `Quick
+            test_twig_branching_estimate_reasonable;
+          Alcotest.test_case "3-node chain" `Quick test_twig_chain_estimate;
+          Alcotest.test_case "level correction (extension)" `Quick
+            test_level_correction_helps_child_queries;
+          Alcotest.test_case "estimate trace" `Quick test_estimate_trace;
+          Alcotest.test_case "star pattern" `Quick test_star_pattern_estimate;
+          Alcotest.test_case "descendant-based composition" `Quick
+            test_descendant_direction_composition;
+          qcheck prop_twig_estimate_nonnegative;
+          qcheck prop_twig_estimate_accuracy_on_dblp_style;
+        ] );
+    ]

@@ -1,0 +1,440 @@
+(* Tests for the histogram layer: grid geometry, position histograms
+   (Lemma 1, Theorem 1, storage), coverage histograms (Theorem 2), level
+   histograms. *)
+
+open Xmlest_core
+open Xmlest_test_util
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* Clamp to the position count so random (doc, size) draws stay legal. *)
+let grid_of doc size =
+  let max_pos = Xmlest.Document.max_pos doc in
+  Xmlest.Grid.create ~size:(min size (max_pos + 1)) ~max_pos
+
+(* --- Grid ----------------------------------------------------------------- *)
+
+let test_grid_geometry () =
+  let g = Xmlest.Grid.create ~size:10 ~max_pos:99 in
+  check Alcotest.int "cells" 100 (Xmlest.Grid.cells g);
+  check Alcotest.int "bucket 0" 0 (Xmlest.Grid.bucket g 0);
+  check Alcotest.int "bucket 9" 0 (Xmlest.Grid.bucket g 9);
+  check Alcotest.int "bucket 10" 1 (Xmlest.Grid.bucket g 10);
+  check Alcotest.int "bucket max" 9 (Xmlest.Grid.bucket g 99)
+
+let test_grid_covers_max_pos () =
+  (* Every position up to max_pos must land in a bucket < size, for
+     ragged divisions too. *)
+  List.iter
+    (fun (size, max_pos) ->
+      let g = Xmlest.Grid.create ~size ~max_pos in
+      for p = 0 to max_pos do
+        let b = Xmlest.Grid.bucket g p in
+        if b < 0 || b >= size then
+          Alcotest.failf "bucket %d out of range for pos %d (g=%d,max=%d)" b p
+            size max_pos
+      done)
+    [ (10, 99); (10, 100); (7, 23); (3, 2); (1, 50); (50, 49) ]
+
+let test_grid_bad_args () =
+  Alcotest.check_raises "zero size"
+    (Invalid_argument "Grid.create: size must be positive") (fun () ->
+      ignore (Xmlest.Grid.create ~size:0 ~max_pos:10));
+  Alcotest.check_raises "more buckets than positions"
+    (Invalid_argument "Grid.create: size 12 exceeds the 11 available positions")
+    (fun () -> ignore (Xmlest.Grid.create ~size:12 ~max_pos:10));
+  let g = Xmlest.Grid.create ~size:10 ~max_pos:99 in
+  Alcotest.check_raises "position out of range"
+    (Invalid_argument "Grid.bucket: position 100 outside [0, 99]") (fun () ->
+      ignore (Xmlest.Grid.bucket g 100))
+
+let test_grid_compatible () =
+  let a = Xmlest.Grid.create ~size:10 ~max_pos:99 in
+  let b = Xmlest.Grid.create ~size:10 ~max_pos:95 in
+  (* both have cell width 10 *)
+  Alcotest.(check bool) "compatible same width" true (Xmlest.Grid.compatible a b);
+  let c = Xmlest.Grid.create ~size:5 ~max_pos:99 in
+  Alcotest.(check bool) "different size" false (Xmlest.Grid.compatible a c)
+
+let test_equidepth_boundaries () =
+  let positions = Array.init 100 (fun k -> k * k) in
+  (* skewed population: quantile boundaries should crowd toward 0 *)
+  let g = Xmlest.Grid.equidepth ~size:10 ~max_pos:9801 ~positions in
+  check Alcotest.int "size" 10 g.Xmlest.Grid.size;
+  let b = g.Xmlest.Grid.boundaries in
+  check Alcotest.int "first boundary" 0 b.(0);
+  check Alcotest.int "last boundary" 9802 b.(10);
+  for i = 0 to 9 do
+    Alcotest.(check bool) "strictly increasing" true (b.(i) < b.(i + 1))
+  done;
+  (* first bucket is much narrower than the last for this population *)
+  Alcotest.(check bool) "skew respected" true (b.(1) - b.(0) < b.(10) - b.(9))
+
+let test_equidepth_balances_population () =
+  let positions = Array.init 1000 (fun k -> k * 7) in
+  let g = Xmlest.Grid.equidepth ~size:10 ~max_pos:6993 ~positions in
+  let counts = Array.make 10 0 in
+  Array.iter
+    (fun p ->
+      let b = Xmlest.Grid.bucket g p in
+      counts.(b) <- counts.(b) + 1)
+    positions;
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "each bucket within 2x of fair share" true
+        (c >= 50 && c <= 200))
+    counts
+
+let test_equidepth_degenerate () =
+  (* fewer distinct positions than buckets: must still produce a valid
+     strictly-increasing grid covering the space *)
+  let g = Xmlest.Grid.equidepth ~size:8 ~max_pos:20 ~positions:[| 3; 3; 3 |] in
+  for p = 0 to 20 do
+    let b = Xmlest.Grid.bucket g p in
+    Alcotest.(check bool) "bucket in range" true (b >= 0 && b < 8)
+  done;
+  let empty = Xmlest.Grid.equidepth ~size:4 ~max_pos:10 ~positions:[||] in
+  check Alcotest.int "empty population still works" 0 (Xmlest.Grid.bucket empty 0)
+
+let prop_equidepth_bucket_consistent =
+  QCheck.Test.make ~count:200 ~name:"equidepth bucket matches boundaries"
+    QCheck.(pair (int_range 1 20) (int_range 0 500))
+    (fun (size, seed) ->
+      let rng = Xmlest.Splitmix.create seed in
+      let max_pos = 50 + Xmlest.Splitmix.int rng 1000 in
+      let n = 1 + Xmlest.Splitmix.int rng 200 in
+      let positions =
+        Array.init n (fun _ -> Xmlest.Splitmix.int rng (max_pos + 1))
+      in
+      Array.sort compare positions;
+      let g = Xmlest.Grid.equidepth ~size ~max_pos ~positions in
+      let ok = ref true in
+      for p = 0 to max_pos do
+        let b = Xmlest.Grid.bucket g p in
+        let lo, hi = Xmlest.Grid.bucket_bounds g b in
+        if not (lo <= p && p <= hi) then ok := false
+      done;
+      !ok)
+
+let test_histogram_on_equidepth_grid () =
+  (* Totals and Lemma 1 are bucketization-independent. *)
+  let doc = Xmlest.Document.of_elem (Xmlest.Staff_gen.generate ()) in
+  let nodes = Xmlest.Document.nodes_with_tag doc "employee" in
+  let positions =
+    Array.concat
+      [
+        Array.map (Xmlest.Document.start_pos doc) nodes;
+        Array.map (Xmlest.Document.end_pos doc) nodes;
+      ]
+  in
+  Array.sort compare positions;
+  let g =
+    Xmlest.Grid.equidepth ~size:10 ~max_pos:(Xmlest.Document.max_pos doc) ~positions
+  in
+  let h = Xmlest.Position_histogram.build doc ~grid:g (Xmlest.Predicate.tag "employee") in
+  check (Alcotest.float 1e-9) "total preserved"
+    (float_of_int (Array.length nodes))
+    (Xmlest.Position_histogram.total h);
+  Alcotest.(check bool) "Lemma 1 holds" true (Xmlest.Position_histogram.obeys_lemma1 h)
+
+(* --- Position histogram ---------------------------------------------------- *)
+
+let build doc size pred =
+  Xmlest.Position_histogram.build doc ~grid:(grid_of doc size) pred
+
+let test_hist_totals () =
+  let doc = Test_util.fig1_doc () in
+  let h = build doc 4 (Xmlest.Predicate.tag "RA") in
+  check (Alcotest.float 1e-9) "total = count" 10.0 (Xmlest.Position_histogram.total h);
+  let all = Xmlest.Position_histogram.population doc ~grid:(grid_of doc 4) in
+  check (Alcotest.float 1e-9) "population = size"
+    (float_of_int (Xmlest.Document.size doc))
+    (Xmlest.Position_histogram.total all)
+
+let test_hist_upper_triangle () =
+  let doc = Xmlest.Document.of_elem (Xmlest.Staff_gen.generate ()) in
+  let h = build doc 10 (Xmlest.Predicate.tag "name") in
+  Xmlest.Position_histogram.iter_nonzero h (fun ~i ~j _ ->
+      if i > j then Alcotest.failf "cell (%d,%d) below diagonal" i j)
+
+let test_hist_paper_example () =
+  (* Sec. 3.2's worked example: Fig. 1's document with 2×2 histograms
+     (Fig. 7).  The exact bucket contents depend on the numbering scheme
+     (the paper's positions differ slightly from ours); with our labeling,
+     faculty lands 2 in cell (0,0) and 1 in (1,1) exactly as in Fig. 7,
+     and the 5 TAs spread over (0,0), (0,1) and (1,1). *)
+  let doc = Test_util.fig1_doc () in
+  let g = grid_of doc 2 in
+  let fac = Xmlest.Position_histogram.build doc ~grid:g (Xmlest.Predicate.tag "faculty") in
+  let ta = Xmlest.Position_histogram.build doc ~grid:g (Xmlest.Predicate.tag "TA") in
+  check (Alcotest.float 1e-9) "fac (0,0)" 2.0 (Xmlest.Position_histogram.get fac ~i:0 ~j:0);
+  check (Alcotest.float 1e-9) "fac (1,1)" 1.0 (Xmlest.Position_histogram.get fac ~i:1 ~j:1);
+  check (Alcotest.float 1e-9) "ta total" 5.0 (Xmlest.Position_histogram.total ta);
+  check (Alcotest.float 1e-9) "ta (0,0)" 2.0 (Xmlest.Position_histogram.get ta ~i:0 ~j:0);
+  check (Alcotest.float 1e-9) "ta (0,1)" 1.0 (Xmlest.Position_histogram.get ta ~i:0 ~j:1);
+  check (Alcotest.float 1e-9) "ta (1,1)" 2.0 (Xmlest.Position_histogram.get ta ~i:1 ~j:1)
+
+let prop_lemma1 =
+  QCheck.Test.make ~count:150 ~name:"Lemma 1 holds on built histograms"
+    QCheck.(pair (Test_util.doc_two_tags_arbitrary ~max_nodes:80 ()) (int_range 2 12))
+    (fun ((_, doc, t1, _), size) ->
+      let h = build doc size (Xmlest.Predicate.tag t1) in
+      Xmlest.Position_histogram.obeys_lemma1 h)
+
+let test_lemma1_rejects_violation () =
+  let doc = Test_util.fig1_doc () in
+  let h = Xmlest.Position_histogram.create_empty (grid_of doc 6) in
+  Xmlest.Position_histogram.add h ~i:1 ~j:4 1.0;
+  Xmlest.Position_histogram.add h ~i:2 ~j:5 1.0;
+  (* (2,5) straddles (1,4): 1 < 2 < 4 and 4 < 5 *)
+  Alcotest.(check bool) "violation detected" false
+    (Xmlest.Position_histogram.obeys_lemma1 h)
+
+let test_theorem1_nonzero_growth () =
+  (* Theorem 1: non-zero cells grow O(g), not O(g²).  Check the ratio
+     non-zero/g stays bounded as g grows on a real data set. *)
+  let doc = Xmlest.Document.of_elem (Xmlest.Dblp_gen.generate_scaled 0.05) in
+  let ratios =
+    List.map
+      (fun size ->
+        let h = build doc size (Xmlest.Predicate.tag "author") in
+        float_of_int (Xmlest.Position_histogram.nonzero_cells h) /. float_of_int size)
+      [ 10; 20; 40; 80 ]
+  in
+  List.iter
+    (fun r -> Alcotest.(check bool) "non-zero cells <= 4g" true (r <= 4.0))
+    ratios
+
+let test_hist_storage_accounting () =
+  let doc = Test_util.fig1_doc () in
+  let h = build doc 4 (Xmlest.Predicate.tag "RA") in
+  check Alcotest.int "bytes = 6 × non-zero"
+    (6 * Xmlest.Position_histogram.nonzero_cells h)
+    (Xmlest.Position_histogram.storage_bytes h)
+
+let test_hist_map2_scale () =
+  let doc = Test_util.fig1_doc () in
+  let a = build doc 4 (Xmlest.Predicate.tag "TA") in
+  let b = build doc 4 (Xmlest.Predicate.tag "RA") in
+  let sum = Xmlest.Position_histogram.map2 ( +. ) a b in
+  check (Alcotest.float 1e-9) "sum total" 15.0 (Xmlest.Position_histogram.total sum);
+  let doubled = Xmlest.Position_histogram.scale a 2.0 in
+  check (Alcotest.float 1e-9) "scaled total" 10.0
+    (Xmlest.Position_histogram.total doubled)
+
+let test_hist_set_get () =
+  let g = Xmlest.Grid.create ~size:5 ~max_pos:49 in
+  let h = Xmlest.Position_histogram.create_empty g in
+  Xmlest.Position_histogram.set h ~i:1 ~j:3 7.5;
+  check (Alcotest.float 1e-9) "get" 7.5 (Xmlest.Position_histogram.get h ~i:1 ~j:3);
+  check (Alcotest.float 1e-9) "total tracks set" 7.5 (Xmlest.Position_histogram.total h);
+  Xmlest.Position_histogram.set h ~i:1 ~j:3 2.5;
+  check (Alcotest.float 1e-9) "total after overwrite" 2.5
+    (Xmlest.Position_histogram.total h)
+
+let test_heatmap_renders () =
+  let doc = Xmlest.Document.of_elem (Xmlest.Staff_gen.generate ()) in
+  let h = build doc 10 (Xmlest.Predicate.tag "department") in
+  let out = Format.asprintf "%a" Xmlest.Position_histogram.pp_heatmap h in
+  let lines = String.split_on_char '\n' out in
+  (* header + 10 rows (+ trailing empty) *)
+  Alcotest.(check bool) "11+ lines" true (List.length lines >= 11);
+  Alcotest.(check bool) "has dense marker" true (String.contains out '#');
+  let plain = Format.asprintf "%a" Xmlest.Position_histogram.pp h in
+  Alcotest.(check bool) "pp lists cells" true (String.contains plain ':')
+
+(* --- Coverage histogram ----------------------------------------------------- *)
+
+let test_coverage_fig1 () =
+  (* Faculty coverage on Fig. 1 with a 2×2 grid (paper's Fig. 8): cell
+     (0,0) has some fraction covered, and total coverage equals the exact
+     fraction of nodes below faculty nodes per cell. *)
+  let doc = Test_util.fig1_doc () in
+  let g = grid_of doc 2 in
+  let cvg = Xmlest.Coverage_histogram.build doc ~grid:g (Xmlest.Predicate.tag "faculty") in
+  (* Exact: count nodes under faculty per cell. *)
+  let faculty = Xmlest.Predicate.tag "faculty" in
+  let covered = Array.make 4 0.0 and pop = Array.make 4 0.0 in
+  let n = Xmlest.Document.size doc in
+  for v = 0 to n - 1 do
+    let i = Xmlest.Grid.bucket g (Xmlest.Document.start_pos doc v) in
+    let j = Xmlest.Grid.bucket g (Xmlest.Document.end_pos doc v) in
+    let cell = (i * 2) + j in
+    pop.(cell) <- pop.(cell) +. 1.0;
+    let under_faculty = ref false in
+    let rec walk u =
+      let p = Xmlest.Document.parent doc u in
+      if p >= 0 then begin
+        if Xmlest.Predicate.eval faculty doc p then under_faculty := true
+        else walk p
+      end
+    in
+    walk v;
+    if !under_faculty then covered.(cell) <- covered.(cell) +. 1.0
+  done;
+  for i = 0 to 1 do
+    for j = i to 1 do
+      let cell = (i * 2) + j in
+      let expected = if pop.(cell) > 0.0 then covered.(cell) /. pop.(cell) else 0.0 in
+      check (Alcotest.float 1e-9)
+        (Printf.sprintf "total coverage (%d,%d)" i j)
+        expected
+        (Xmlest.Coverage_histogram.total_coverage cvg ~i ~j)
+    done
+  done
+
+let test_coverage_fractions_bounded () =
+  let doc = Xmlest.Document.of_elem (Xmlest.Dblp_gen.generate_scaled 0.02) in
+  let g = grid_of doc 10 in
+  let cvg = Xmlest.Coverage_histogram.build doc ~grid:g (Xmlest.Predicate.tag "article") in
+  for i = 0 to 9 do
+    for j = i to 9 do
+      let total = Xmlest.Coverage_histogram.total_coverage cvg ~i ~j in
+      Alcotest.(check bool) "total in [0,1]" true (total >= 0.0 && total <= 1.0 +. 1e-9);
+      Xmlest.Coverage_histogram.iter_covers cvg ~i ~j (fun ~m:_ ~n:_ f ->
+          Alcotest.(check bool) "fraction in (0,1]" true (f > 0.0 && f <= 1.0 +. 1e-9))
+    done
+  done
+
+let test_coverage_population_is_true_hist () =
+  let doc = Test_util.fig1_doc () in
+  let g = grid_of doc 4 in
+  let cvg = Xmlest.Coverage_histogram.build doc ~grid:g (Xmlest.Predicate.tag "faculty") in
+  let pop = Xmlest.Position_histogram.population doc ~grid:g in
+  for i = 0 to 3 do
+    for j = i to 3 do
+      check (Alcotest.float 1e-9)
+        (Printf.sprintf "population (%d,%d)" i j)
+        (Xmlest.Position_histogram.get pop ~i ~j)
+        (Xmlest.Coverage_histogram.cell_population cvg ~i ~j)
+    done
+  done
+
+let test_theorem2_partial_entries () =
+  (* Theorem 2: partial (0 < f < 1) coverage entries grow O(g). *)
+  let doc = Xmlest.Document.of_elem (Xmlest.Dblp_gen.generate_scaled 0.05) in
+  List.iter
+    (fun size ->
+      let g = grid_of doc size in
+      let cvg =
+        Xmlest.Coverage_histogram.build doc ~grid:g (Xmlest.Predicate.tag "article")
+      in
+      let partial = Xmlest.Coverage_histogram.partial_entries cvg in
+      Alcotest.(check bool)
+        (Printf.sprintf "partial entries (%d) <= 4g" size)
+        true
+        (partial <= 4 * size))
+    [ 10; 20; 40; 80 ]
+
+let test_coverage_storage_accounting () =
+  let doc = Test_util.fig1_doc () in
+  let cvg =
+    Xmlest.Coverage_histogram.build doc ~grid:(grid_of doc 4)
+      (Xmlest.Predicate.tag "faculty")
+  in
+  check Alcotest.int "bytes = 10 × entries"
+    (10 * Xmlest.Coverage_histogram.entries cvg)
+    (Xmlest.Coverage_histogram.storage_bytes cvg)
+
+let prop_coverage_bounded =
+  QCheck.Test.make ~count:100 ~name:"coverage fractions bounded on random trees"
+    QCheck.(pair (Test_util.doc_two_tags_arbitrary ~max_nodes:60 ()) (int_range 2 8))
+    (fun ((_, doc, t1, _), size) ->
+      let g = grid_of doc size in
+      let size = g.Xmlest.Grid.size in
+      let cvg = Xmlest.Coverage_histogram.build doc ~grid:g (Xmlest.Predicate.tag t1) in
+      let ok = ref true in
+      for i = 0 to size - 1 do
+        for j = i to size - 1 do
+          let t = Xmlest.Coverage_histogram.total_coverage cvg ~i ~j in
+          if t < -1e-9 || t > 1.0 +. 1e-9 then ok := false
+        done
+      done;
+      !ok)
+
+(* --- Level histogram -------------------------------------------------------- *)
+
+let test_level_histogram () =
+  let doc = Test_util.fig1_doc () in
+  let lvl = Xmlest.Level_histogram.build doc (Xmlest.Predicate.tag "RA") in
+  check (Alcotest.float 1e-9) "all RAs at level 2" 10.0
+    (Xmlest.Level_histogram.count_at lvl 2);
+  check (Alcotest.float 1e-9) "none at level 1" 0.0
+    (Xmlest.Level_histogram.count_at lvl 1);
+  check Alcotest.int "max level" 2 (Xmlest.Level_histogram.max_level lvl);
+  check (Alcotest.float 1e-9) "total" 10.0 (Xmlest.Level_histogram.total lvl)
+
+let test_child_fraction () =
+  let doc = Test_util.fig1_doc () in
+  let dept = Xmlest.Level_histogram.build doc (Xmlest.Predicate.tag "department") in
+  let fac = Xmlest.Level_histogram.build doc (Xmlest.Predicate.tag "faculty") in
+  (* department at level 0, faculty at level 1: every anc-desc level pair is
+     parent-child. *)
+  check (Alcotest.float 1e-9) "all pairs are parent-child" 1.0
+    (Xmlest.Level_histogram.child_fraction ~anc:dept ~desc:fac);
+  let ra = Xmlest.Level_histogram.build doc (Xmlest.Predicate.tag "RA") in
+  (* department level 0, RA level 2: no level pair is parent-child. *)
+  check (Alcotest.float 1e-9) "no parent-child pairs" 0.0
+    (Xmlest.Level_histogram.child_fraction ~anc:dept ~desc:ra)
+
+let test_child_fraction_degenerate () =
+  let doc = Test_util.fig1_doc () in
+  let ra = Xmlest.Level_histogram.build doc (Xmlest.Predicate.tag "RA") in
+  (* same level: no anc-desc level pairs at all -> neutral 1.0 *)
+  check (Alcotest.float 1e-9) "no pairs -> neutral" 1.0
+    (Xmlest.Level_histogram.child_fraction ~anc:ra ~desc:ra)
+
+let () =
+  Alcotest.run "histogram"
+    [
+      ( "grid",
+        [
+          Alcotest.test_case "geometry" `Quick test_grid_geometry;
+          Alcotest.test_case "covers max_pos" `Quick test_grid_covers_max_pos;
+          Alcotest.test_case "bad arguments" `Quick test_grid_bad_args;
+          Alcotest.test_case "compatibility" `Quick test_grid_compatible;
+          Alcotest.test_case "equidepth boundaries" `Quick test_equidepth_boundaries;
+          Alcotest.test_case "equidepth balances population" `Quick
+            test_equidepth_balances_population;
+          Alcotest.test_case "equidepth degenerate inputs" `Quick
+            test_equidepth_degenerate;
+          Alcotest.test_case "histogram on equidepth grid" `Quick
+            test_histogram_on_equidepth_grid;
+          qcheck prop_equidepth_bucket_consistent;
+        ] );
+      ( "position",
+        [
+          Alcotest.test_case "totals" `Quick test_hist_totals;
+          Alcotest.test_case "upper triangle only" `Quick test_hist_upper_triangle;
+          Alcotest.test_case "paper 2x2 example (Fig. 7)" `Quick test_hist_paper_example;
+          Alcotest.test_case "Lemma 1 violation detected" `Quick
+            test_lemma1_rejects_violation;
+          Alcotest.test_case "Theorem 1: O(g) non-zero cells" `Quick
+            test_theorem1_nonzero_growth;
+          Alcotest.test_case "storage accounting" `Quick test_hist_storage_accounting;
+          Alcotest.test_case "map2 and scale" `Quick test_hist_map2_scale;
+          Alcotest.test_case "set and get" `Quick test_hist_set_get;
+          qcheck prop_lemma1;
+          Alcotest.test_case "heatmap renders" `Quick test_heatmap_renders;
+        ] );
+      ( "coverage",
+        [
+          Alcotest.test_case "fig1 coverage exact" `Quick test_coverage_fig1;
+          Alcotest.test_case "fractions bounded" `Quick test_coverage_fractions_bounded;
+          Alcotest.test_case "population = TRUE histogram" `Quick
+            test_coverage_population_is_true_hist;
+          Alcotest.test_case "Theorem 2: O(g) partial entries" `Quick
+            test_theorem2_partial_entries;
+          Alcotest.test_case "storage accounting" `Quick
+            test_coverage_storage_accounting;
+          qcheck prop_coverage_bounded;
+        ] );
+      ( "level",
+        [
+          Alcotest.test_case "build and query" `Quick test_level_histogram;
+          Alcotest.test_case "child fraction" `Quick test_child_fraction;
+          Alcotest.test_case "degenerate child fraction" `Quick
+            test_child_fraction_degenerate;
+        ] );
+    ]

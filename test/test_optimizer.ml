@@ -1,0 +1,259 @@
+(* Tests for plan enumeration and the cost-based join-order chooser. *)
+
+open Xmlest_core
+open Xmlest_test_util
+
+let check = Alcotest.check
+
+let tagp = Xmlest.Predicate.tag
+
+(* Fig. 2's query: department//faculty[.//TA][.//RA] — the example the
+   paper's introduction uses to motivate join-order choice. *)
+let fig2_pattern () =
+  Xmlest.Pattern.node
+    ~edges:
+      [
+        ( Xmlest.Pattern.Descendant,
+          Xmlest.Pattern.node
+            ~edges:
+              [
+                (Xmlest.Pattern.Descendant, Xmlest.Pattern.leaf (tagp "TA"));
+                (Xmlest.Pattern.Descendant, Xmlest.Pattern.leaf (tagp "RA"));
+              ]
+            (tagp "faculty") );
+      ]
+    (tagp "department")
+
+(* --- Plan ------------------------------------------------------------------ *)
+
+let test_node_count_and_preds () =
+  let p = fig2_pattern () in
+  check Alcotest.int "nodes" 4 (Xmlest.Plan.node_count p);
+  check Alcotest.string "node 0" "tag=department"
+    (Xmlest.Predicate.name (Xmlest.Plan.node_predicate p 0));
+  check Alcotest.string "node 1" "tag=faculty"
+    (Xmlest.Predicate.name (Xmlest.Plan.node_predicate p 1));
+  check Alcotest.string "node 2" "tag=TA"
+    (Xmlest.Predicate.name (Xmlest.Plan.node_predicate p 2));
+  check Alcotest.string "node 3" "tag=RA"
+    (Xmlest.Predicate.name (Xmlest.Plan.node_predicate p 3))
+
+let test_induced_subpatterns () =
+  let p = fig2_pattern () in
+  (* {faculty, RA} -> faculty//RA *)
+  (match Xmlest.Plan.induced p [ 1; 3 ] with
+  | Some sub ->
+    check Alcotest.string "faculty//RA" "//faculty//RA"
+      (Xmlest.Pattern.to_string sub)
+  | None -> Alcotest.fail "expected connected");
+  (* {department, TA}: connected through the collapsed faculty edge *)
+  (match Xmlest.Plan.induced p [ 0; 2 ] with
+  | Some sub ->
+    check Alcotest.string "department//TA" "//department//TA"
+      (Xmlest.Pattern.to_string sub)
+  | None -> Alcotest.fail "expected connected via collapsing");
+  (* {TA, RA}: siblings, no common node in the set -> disconnected *)
+  check Alcotest.bool "TA,RA disconnected" true
+    (Xmlest.Plan.induced p [ 2; 3 ] = None);
+  check Alcotest.bool "empty set" true (Xmlest.Plan.induced p [] = None)
+
+let test_induced_preserves_axis () =
+  let p =
+    Xmlest.Pattern.node
+      ~edges:[ (Xmlest.Pattern.Child, Xmlest.Pattern.leaf (tagp "b")) ]
+      (tagp "a")
+  in
+  match Xmlest.Plan.induced p [ 0; 1 ] with
+  | Some sub ->
+    (match sub.Xmlest.Pattern.edges with
+    | [ (Xmlest.Pattern.Child, _) ] -> ()
+    | _ -> Alcotest.fail "child axis should be preserved")
+  | None -> Alcotest.fail "expected connected"
+
+let test_enumerate_pair () =
+  let p = Xmlest.Pattern.twig (tagp "a") [ tagp "b" ] in
+  let plans = Xmlest.Plan.enumerate p in
+  (* Orders: [0;1] and [1;0]; both connect. *)
+  check Alcotest.int "two plans" 2 (List.length plans);
+  List.iter
+    (fun pl ->
+      check Alcotest.int "one prefix" 1 (List.length pl.Xmlest.Plan.prefixes))
+    plans
+
+let test_enumerate_fig2 () =
+  let plans = Xmlest.Plan.enumerate (fig2_pattern ()) in
+  (* Every permutation of 4 nodes whose prefixes stay connected. *)
+  Alcotest.(check bool) "several plans" true (List.length plans >= 6);
+  List.iter
+    (fun pl ->
+      check Alcotest.int "order is a permutation" 4
+        (List.length (List.sort_uniq compare pl.Xmlest.Plan.order));
+      check Alcotest.int "three prefixes" 3 (List.length pl.Xmlest.Plan.prefixes);
+      (* last prefix is the full pattern *)
+      match List.rev pl.Xmlest.Plan.prefixes with
+      | last :: _ ->
+        Alcotest.(check bool) "full pattern last" true
+          (Xmlest.Pattern.equal last (fig2_pattern ()))
+      | [] -> Alcotest.fail "no prefixes")
+    plans;
+  (* No plan may start with the disconnected pair {TA, RA}. *)
+  List.iter
+    (fun pl ->
+      match pl.Xmlest.Plan.order with
+      | a :: b :: _ ->
+        Alcotest.(check bool) "no cross product" false
+          ((a = 2 && b = 3) || (a = 3 && b = 2))
+      | _ -> ())
+    plans
+
+(* --- Optimizer --------------------------------------------------------------- *)
+
+let test_rank_and_best () =
+  let doc = Test_util.fig1_doc () in
+  let summary =
+    Xmlest.Summary.build ~grid_size:4 doc
+      [ tagp "department"; tagp "faculty"; tagp "TA"; tagp "RA" ]
+  in
+  let catalog = Xmlest.Summary.catalog summary in
+  let ranked = Xmlest.Optimizer.rank catalog (fig2_pattern ()) in
+  Alcotest.(check bool) "non-empty" true (ranked <> []);
+  (* Sorted by cost. *)
+  let costs = List.map (fun c -> c.Xmlest.Optimizer.cost) ranked in
+  let sorted = List.sort Float.compare costs in
+  Alcotest.(check bool) "sorted" true (costs = sorted);
+  let best = Xmlest.Optimizer.best catalog (fig2_pattern ()) in
+  check (Alcotest.float 1e-9) "best = head" (List.hd costs) best.Xmlest.Optimizer.cost
+
+let test_single_node_pattern_rejected () =
+  let doc = Test_util.fig1_doc () in
+  let summary = Xmlest.Summary.build ~grid_size:4 doc [ tagp "TA" ] in
+  Alcotest.check_raises "no joins"
+    (Invalid_argument "Optimizer.best: pattern has no join plans") (fun () ->
+      ignore
+        (Xmlest.Optimizer.best (Xmlest.Summary.catalog summary)
+           (Xmlest.Pattern.leaf (tagp "TA"))))
+
+let test_actual_intermediates () =
+  let doc = Test_util.fig1_doc () in
+  let p = fig2_pattern () in
+  let plans = Xmlest.Plan.enumerate p in
+  List.iter
+    (fun pl ->
+      let sizes = Xmlest.Optimizer.actual_intermediates doc pl in
+      check Alcotest.int "one size per prefix"
+        (List.length pl.Xmlest.Plan.prefixes)
+        (List.length sizes);
+      (* Final prefix is the whole query: 1 faculty × 2 TA × 2 RA = 4,
+         times 1 department. *)
+      match List.rev sizes with
+      | last :: _ -> check Alcotest.int "final size" 4 last
+      | [] -> Alcotest.fail "no sizes")
+    plans
+
+let test_optimizer_picks_good_plan_on_staff () =
+  (* On the synthetic staff data, check the chosen plan's actual cost is
+     within 2x of the true optimum over all plans. *)
+  let doc = Xmlest.Document.of_elem (Xmlest.Staff_gen.generate ()) in
+  let preds = [ tagp "manager"; tagp "department"; tagp "employee"; tagp "email" ] in
+  let summary = Xmlest.Summary.build ~grid_size:10 doc preds in
+  let pattern =
+    Xmlest.Pattern.node
+      ~edges:
+        [
+          ( Xmlest.Pattern.Descendant,
+            Xmlest.Pattern.node
+              ~edges:
+                [
+                  ( Xmlest.Pattern.Descendant,
+                    Xmlest.Pattern.node
+                      ~edges:
+                        [ (Xmlest.Pattern.Descendant, Xmlest.Pattern.leaf (tagp "email")) ]
+                      (tagp "employee") );
+                ]
+              (tagp "department") );
+        ]
+      (tagp "manager")
+  in
+  let best = Xmlest.Optimizer.best (Xmlest.Summary.catalog summary) pattern in
+  let chosen_cost = Xmlest.Optimizer.actual_cost doc best.Xmlest.Optimizer.plan in
+  let optimal =
+    List.fold_left
+      (fun acc pl -> min acc (Xmlest.Optimizer.actual_cost doc pl))
+      max_int
+      (Xmlest.Plan.enumerate pattern)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "chosen %d within 2x of optimal %d" chosen_cost optimal)
+    true
+    (chosen_cost <= (2 * optimal) + 10)
+
+let test_executor_agrees_with_actual_intermediates () =
+  (* The executor's materialized row counts must equal the counting
+     engine's sizes for the same plan prefixes. *)
+  let doc = Test_util.fig1_doc () in
+  let p = fig2_pattern () in
+  List.iter
+    (fun pl ->
+      let by_count = Xmlest.Optimizer.actual_intermediates doc pl in
+      let by_exec =
+        (Xmlest.Executor.run doc p ~order:pl.Xmlest.Plan.order)
+          .Xmlest.Executor.intermediate_sizes
+      in
+      check Alcotest.(list int)
+        (Format.asprintf "plan %a" Xmlest.Plan.pp pl)
+        by_count by_exec)
+    (Xmlest.Plan.enumerate p)
+
+let test_estimated_final_size_plan_invariant () =
+  (* The final prefix of every plan is the whole pattern, so its estimate
+     must not depend on the join order used to reach it. *)
+  let doc = Test_util.fig1_doc () in
+  let summary =
+    Xmlest.Summary.build ~grid_size:4 doc
+      [ tagp "department"; tagp "faculty"; tagp "RA" ]
+  in
+  let catalog = Xmlest.Summary.catalog summary in
+  let pattern =
+    Xmlest.Pattern.chain [ tagp "department"; tagp "faculty"; tagp "RA" ]
+  in
+  let finals =
+    List.map
+      (fun c -> List.nth c.Xmlest.Optimizer.intermediates 1)
+      (Xmlest.Optimizer.rank catalog pattern)
+  in
+  match finals with
+  | [] -> Alcotest.fail "no plans"
+  | f :: rest ->
+    List.iter
+      (fun f' ->
+        Alcotest.(check bool)
+          "final estimates equal across plans" true
+          (Test_util.float_close ~tolerance:1e-6 f f'))
+      rest
+
+let () =
+  Alcotest.run "optimizer"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "node count and predicates" `Quick
+            test_node_count_and_preds;
+          Alcotest.test_case "induced subpatterns" `Quick test_induced_subpatterns;
+          Alcotest.test_case "axis preserved" `Quick test_induced_preserves_axis;
+          Alcotest.test_case "enumerate pair" `Quick test_enumerate_pair;
+          Alcotest.test_case "enumerate Fig. 2" `Quick test_enumerate_fig2;
+        ] );
+      ( "optimizer",
+        [
+          Alcotest.test_case "rank and best" `Quick test_rank_and_best;
+          Alcotest.test_case "single node rejected" `Quick
+            test_single_node_pattern_rejected;
+          Alcotest.test_case "actual intermediates" `Quick test_actual_intermediates;
+          Alcotest.test_case "good plan on staff data" `Quick
+            test_optimizer_picks_good_plan_on_staff;
+          Alcotest.test_case "final estimate plan-invariant" `Quick
+            test_estimated_final_size_plan_invariant;
+          Alcotest.test_case "executor = counting engine on intermediates" `Quick
+            test_executor_agrees_with_actual_intermediates;
+        ] );
+    ]

@@ -1,0 +1,331 @@
+(* Tests for predicates, twig patterns and the query parser. *)
+
+open Xmlest_core
+open Xmlest_test_util
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+let sample () =
+  Xmlest.Document.of_elem
+    (Xmlest.Xml_parser.parse_string_exn
+       "<lib><book year='2001'><title>Query Processing</title>\
+        <cite>conf/vldb/1</cite><cite>journals/tods/2</cite></book>\
+        <book year='1999'><title>Trees</title><cite>conf/icde/3</cite></book>\
+        <paper><title>Query Sizes</title></paper></lib>")
+
+(* --- Predicate --------------------------------------------------------- *)
+
+let test_pred_tag () =
+  let doc = sample () in
+  check Alcotest.int "books" 2 (Xmlest.Predicate.count doc (Xmlest.Predicate.tag "book"));
+  check Alcotest.int "cites" 3 (Xmlest.Predicate.count doc (Xmlest.Predicate.tag "cite"));
+  check Alcotest.int "true matches all" (Xmlest.Document.size doc)
+    (Xmlest.Predicate.count doc Xmlest.Predicate.True)
+
+let test_pred_text () =
+  let doc = sample () in
+  let open Xmlest.Predicate in
+  check Alcotest.int "prefix conf" 2 (count doc (text_prefix ~tag:"cite" "conf"));
+  check Alcotest.int "prefix journals" 1 (count doc (text_prefix ~tag:"cite" "journals"));
+  check Alcotest.int "exact title" 1 (count doc (text_eq ~tag:"title" "Trees"));
+  check Alcotest.int "suffix" 1 (count doc (And (Tag "cite", Text_suffix "/3")));
+  check Alcotest.int "contains" 2 (count doc (And (Tag "title", Text_contains "Query")))
+
+let test_pred_attr_level () =
+  let doc = sample () in
+  let open Xmlest.Predicate in
+  check Alcotest.int "attr year" 1 (count doc (Attr_eq ("year", "2001")));
+  check Alcotest.int "level 1" 3 (count doc (Level_eq 1));
+  check Alcotest.int "level 0" 1 (count doc (Level_eq 0))
+
+let test_pred_boolean () =
+  let doc = sample () in
+  let open Xmlest.Predicate in
+  let conf = text_prefix ~tag:"cite" "conf" in
+  let journal = text_prefix ~tag:"cite" "journals" in
+  check Alcotest.int "or" 3 (count doc (Or (conf, journal)));
+  check Alcotest.int "and-false" 0 (count doc (And (conf, journal)));
+  check Alcotest.int "not" (Xmlest.Document.size doc - 3)
+    (count doc (Not (Tag "cite")));
+  check Alcotest.int "any_of" 3 (count doc (any_of [ conf; journal ]))
+
+let test_pred_name_stable () =
+  let open Xmlest.Predicate in
+  check Alcotest.string "tag name" "tag=cite" (name (Tag "cite"));
+  check Alcotest.string "compound name" "tag=cite&prefix=conf"
+    (name (text_prefix ~tag:"cite" "conf"));
+  Alcotest.(check bool)
+    "equal predicates share names" true
+    (name (And (Tag "a", Text_eq "x")) = name (And (Tag "a", Text_eq "x")))
+
+let test_pred_matching_sorted () =
+  let doc = sample () in
+  let nodes =
+    Xmlest.Predicate.matching_nodes doc
+      (Xmlest.Predicate.And (Xmlest.Predicate.Tag "cite", Xmlest.Predicate.Text_prefix "conf"))
+  in
+  check Alcotest.int "count" 2 (Array.length nodes);
+  for k = 1 to Array.length nodes - 1 do
+    Alcotest.(check bool)
+      "document order" true
+      (Xmlest.Document.start_pos doc nodes.(k - 1)
+      < Xmlest.Document.start_pos doc nodes.(k))
+  done
+
+let prop_matching_nodes_equals_scan =
+  QCheck.Test.make ~count:100 ~name:"matching_nodes = full scan"
+    (Test_util.doc_two_tags_arbitrary ~max_nodes:50 ())
+    (fun (_, doc, t1, t2) ->
+      let pred =
+        Xmlest.Predicate.Or (Xmlest.Predicate.Tag t1, Xmlest.Predicate.Tag t2)
+      in
+      let indexed = Xmlest.Predicate.matching_nodes doc pred in
+      let scanned = ref [] in
+      for v = Xmlest.Document.size doc - 1 downto 0 do
+        if Xmlest.Predicate.eval pred doc v then scanned := v :: !scanned
+      done;
+      Array.to_list indexed = !scanned)
+
+let test_pred_syntax_roundtrip_fixed () =
+  let open Xmlest.Predicate in
+  let cases =
+    [
+      True;
+      Tag "faculty";
+      text_prefix ~tag:"cite" "conf";
+      And (Tag "ci\"te", Or (Text_prefix "con\\f", Not (Level_eq 3)));
+      Attr_eq ("key", "a \"quoted\" value");
+      any_of [ text_eq ~tag:"year" "1990"; text_eq ~tag:"year" "1991" ];
+    ]
+  in
+  List.iter
+    (fun p ->
+      match of_syntax (to_syntax p) with
+      | Ok q ->
+        Alcotest.(check bool) ("roundtrip " ^ to_syntax p) true (equal p q)
+      | Error e -> Alcotest.failf "parse failed for %s: %s" (to_syntax p) e)
+    cases
+
+let test_pred_syntax_errors () =
+  let open Xmlest.Predicate in
+  let bad s =
+    match of_syntax s with
+    | Ok _ -> Alcotest.failf "expected syntax error for %S" s
+    | Error _ -> ()
+  in
+  bad "";
+  bad "(tag)";
+  bad "(tag \"a\") extra";
+  bad "(unknown \"a\")";
+  bad "(and (tag \"a\"))";
+  bad "(level \"x\")";
+  bad "(tag \"unterminated)"
+
+let prop_pred_syntax_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"predicate syntax roundtrip (random)"
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Xmlest.Splitmix.create seed in
+      let strings = [| "a"; "conf/x"; "with space"; "q\"uote"; "back\\slash"; "" |] in
+      let rec gen depth =
+        let leaf () =
+          match Xmlest.Splitmix.int rng 7 with
+          | 0 -> Xmlest.Predicate.True
+          | 1 -> Xmlest.Predicate.Tag (Xmlest.Splitmix.choose rng strings)
+          | 2 -> Xmlest.Predicate.Text_eq (Xmlest.Splitmix.choose rng strings)
+          | 3 -> Xmlest.Predicate.Text_prefix (Xmlest.Splitmix.choose rng strings)
+          | 4 -> Xmlest.Predicate.Text_suffix (Xmlest.Splitmix.choose rng strings)
+          | 5 ->
+            Xmlest.Predicate.Attr_eq
+              (Xmlest.Splitmix.choose rng strings, Xmlest.Splitmix.choose rng strings)
+          | _ -> Xmlest.Predicate.Level_eq (Xmlest.Splitmix.int rng 20)
+        in
+        if depth >= 3 then leaf ()
+        else
+          match Xmlest.Splitmix.int rng 5 with
+          | 0 -> Xmlest.Predicate.And (gen (depth + 1), gen (depth + 1))
+          | 1 -> Xmlest.Predicate.Or (gen (depth + 1), gen (depth + 1))
+          | 2 -> Xmlest.Predicate.Not (gen (depth + 1))
+          | _ -> leaf ()
+      in
+      let p = gen 0 in
+      match Xmlest.Predicate.of_syntax (Xmlest.Predicate.to_syntax p) with
+      | Ok q -> Xmlest.Predicate.equal p q
+      | Error _ -> false)
+
+(* --- Pattern ------------------------------------------------------------ *)
+
+let test_pattern_builders () =
+  let open Xmlest.Pattern in
+  let p = chain [ Xmlest.Predicate.tag "a"; Xmlest.Predicate.tag "b"; Xmlest.Predicate.tag "c" ] in
+  check Alcotest.int "chain size" 3 (size p);
+  check Alcotest.int "chain edges" 2 (edge_count p);
+  let t = twig (Xmlest.Predicate.tag "f") [ Xmlest.Predicate.tag "x"; Xmlest.Predicate.tag "y" ] in
+  check Alcotest.int "twig size" 3 (size t);
+  check Alcotest.int "twig children" 2 (List.length t.edges)
+
+let test_pattern_predicates_preorder () =
+  let p =
+    Xmlest.Pattern.twig (Xmlest.Predicate.tag "f")
+      [ Xmlest.Predicate.tag "x"; Xmlest.Predicate.tag "y" ]
+  in
+  check
+    Alcotest.(list string)
+    "pre-order preds" [ "tag=f"; "tag=x"; "tag=y" ]
+    (List.map Xmlest.Predicate.name (Xmlest.Pattern.predicates p))
+
+let test_pattern_to_string () =
+  let p =
+    Xmlest.Pattern.node
+      ~edges:
+        [
+          (Xmlest.Pattern.Descendant, Xmlest.Pattern.leaf (Xmlest.Predicate.tag "TA"));
+          (Xmlest.Pattern.Descendant, Xmlest.Pattern.leaf (Xmlest.Predicate.tag "RA"));
+        ]
+      (Xmlest.Predicate.tag "faculty")
+  in
+  check Alcotest.string "render" "//faculty[.//TA][.//RA]"
+    (Xmlest.Pattern.to_string p)
+
+(* --- Pattern parser ------------------------------------------------------ *)
+
+let parse = Xmlest.Pattern_parser.parse_exn
+
+let test_parse_simple_path () =
+  let q = parse "//article//author" in
+  check Alcotest.bool "anchor descendant" true
+    (q.Xmlest.Pattern_parser.anchor = Xmlest.Pattern.Descendant);
+  let root = q.Xmlest.Pattern_parser.root in
+  check Alcotest.string "root pred" "tag=article" (Xmlest.Predicate.name root.Xmlest.Pattern.pred);
+  (match root.Xmlest.Pattern.edges with
+  | [ (Xmlest.Pattern.Descendant, child) ] ->
+    check Alcotest.string "child" "tag=author"
+      (Xmlest.Predicate.name child.Xmlest.Pattern.pred)
+  | _ -> Alcotest.fail "expected one descendant edge")
+
+let test_parse_child_axis () =
+  let q = parse "/dblp/article" in
+  check Alcotest.bool "anchor child" true
+    (q.Xmlest.Pattern_parser.anchor = Xmlest.Pattern.Child);
+  match q.Xmlest.Pattern_parser.root.Xmlest.Pattern.edges with
+  | [ (Xmlest.Pattern.Child, _) ] -> ()
+  | _ -> Alcotest.fail "expected child edge"
+
+let test_parse_branches () =
+  let q = parse "//faculty[.//TA][.//RA]//name" in
+  let root = q.Xmlest.Pattern_parser.root in
+  check Alcotest.int "three edges" 3 (List.length root.Xmlest.Pattern.edges);
+  check Alcotest.int "pattern size" 4 (Xmlest.Pattern.size root)
+
+let test_parse_content_filters () =
+  let q = parse "//cite[starts-with(text(),'conf')]" in
+  let pred = q.Xmlest.Pattern_parser.root.Xmlest.Pattern.pred in
+  check Alcotest.string "compound" "tag=cite&prefix=conf" (Xmlest.Predicate.name pred);
+  let q2 = parse "//year[text()='1984']" in
+  check Alcotest.string "text eq" "tag=year&text=1984"
+    (Xmlest.Predicate.name q2.Xmlest.Pattern_parser.root.Xmlest.Pattern.pred);
+  let q3 = parse "//item[@id='7']" in
+  check Alcotest.string "attr" "tag=item&@id=7"
+    (Xmlest.Predicate.name q3.Xmlest.Pattern_parser.root.Xmlest.Pattern.pred);
+  let q4 = parse "//title[contains(text(),\"Query\")]" in
+  check Alcotest.string "contains" "tag=title&contains=Query"
+    (Xmlest.Predicate.name q4.Xmlest.Pattern_parser.root.Xmlest.Pattern.pred)
+
+let test_parse_star () =
+  let q = parse "//*//b" in
+  check Alcotest.string "star is True" "true"
+    (Xmlest.Predicate.name q.Xmlest.Pattern_parser.root.Xmlest.Pattern.pred)
+
+let test_parse_whitespace () =
+  let q = parse "  //a [ .//b ] / c " in
+  check Alcotest.int "size" 3 (Xmlest.Pattern.size q.Xmlest.Pattern_parser.root)
+
+let test_parse_errors () =
+  let bad s =
+    match Xmlest.Pattern_parser.parse s with
+    | Ok _ -> Alcotest.failf "expected parse failure for %S" s
+    | Error _ -> ()
+  in
+  bad "";
+  bad "article";
+  bad "//";
+  bad "//a[";
+  bad "//a[]";
+  bad "//a]";
+  bad "//a[text()=unquoted]";
+  bad "//a trailing"
+
+let test_parse_matches_exact_engine () =
+  let doc = sample () in
+  let count s = Xmlest.Twig_count.count_query doc (parse s) in
+  check Alcotest.int "//book//cite" 3 (count "//book//cite");
+  check Alcotest.int "//book[.//cite]//title" 3 (count "//book[.//cite]//title");
+  check Alcotest.int "//lib//title" 3 (count "//lib//title");
+  check Alcotest.int "/lib/book" 2 (count "/lib/book");
+  check Alcotest.int "//book/cite" 3 (count "//book/cite");
+  check Alcotest.int "//cite[starts-with(text(),'conf')]" 2
+    (count "//cite[starts-with(text(),'conf')]")
+
+let prop_parse_print_roundtrip =
+  (* to_string of a parsed descendant-only pattern parses back to an equal
+     pattern. *)
+  QCheck.Test.make ~count:50 ~name:"pattern print/parse roundtrip"
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let rng = Xmlest.Splitmix.create seed in
+      let tags = [| "a"; "b"; "c"; "d" |] in
+      let rec gen depth =
+        let pred = Xmlest.Predicate.tag (Xmlest.Splitmix.choose rng tags) in
+        if depth >= 3 then Xmlest.Pattern.leaf pred
+        else begin
+          let n_children = Xmlest.Splitmix.int rng 3 in
+          let edges =
+            List.init n_children (fun _ ->
+                (Xmlest.Pattern.Descendant, gen (depth + 1)))
+          in
+          Xmlest.Pattern.node ~edges pred
+        end
+      in
+      let p = gen 0 in
+      let s = Xmlest.Pattern.to_string p in
+      let q = Xmlest.Pattern_parser.pattern_exn s in
+      Xmlest.Pattern.equal p q)
+
+let () =
+  Alcotest.run "query"
+    [
+      ( "predicate",
+        [
+          Alcotest.test_case "tag predicates" `Quick test_pred_tag;
+          Alcotest.test_case "text predicates" `Quick test_pred_text;
+          Alcotest.test_case "attr and level" `Quick test_pred_attr_level;
+          Alcotest.test_case "boolean combinations" `Quick test_pred_boolean;
+          Alcotest.test_case "stable names" `Quick test_pred_name_stable;
+          Alcotest.test_case "matching_nodes sorted" `Quick test_pred_matching_sorted;
+          qcheck prop_matching_nodes_equals_scan;
+          Alcotest.test_case "syntax roundtrip" `Quick test_pred_syntax_roundtrip_fixed;
+          Alcotest.test_case "syntax errors" `Quick test_pred_syntax_errors;
+          qcheck prop_pred_syntax_roundtrip;
+        ] );
+      ( "pattern",
+        [
+          Alcotest.test_case "builders" `Quick test_pattern_builders;
+          Alcotest.test_case "pre-order predicates" `Quick
+            test_pattern_predicates_preorder;
+          Alcotest.test_case "rendering" `Quick test_pattern_to_string;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "simple path" `Quick test_parse_simple_path;
+          Alcotest.test_case "child axis" `Quick test_parse_child_axis;
+          Alcotest.test_case "branches" `Quick test_parse_branches;
+          Alcotest.test_case "content filters" `Quick test_parse_content_filters;
+          Alcotest.test_case "star" `Quick test_parse_star;
+          Alcotest.test_case "whitespace" `Quick test_parse_whitespace;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "agrees with exact engine" `Quick
+            test_parse_matches_exact_engine;
+          qcheck prop_parse_print_roundtrip;
+        ] );
+    ]

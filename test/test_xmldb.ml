@@ -1,0 +1,420 @@
+(* Tests for the XML substrate: element trees, parser, writer, interval
+   labeling, interval sweeps, per-tag statistics. *)
+
+open Xmlest_core
+open Xmlest_test_util
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* --- Elem ------------------------------------------------------------ *)
+
+let test_elem_size_depth () =
+  let e = Test_util.fig1 () in
+  check Alcotest.int "fig1 size" 31 (Xmlest.Elem.size e);
+  check Alcotest.int "fig1 depth" 3 (Xmlest.Elem.depth e);
+  check Alcotest.int "leaf size" 1 (Xmlest.Elem.size (Xmlest.Elem.make "x"));
+  check Alcotest.int "leaf depth" 1 (Xmlest.Elem.depth (Xmlest.Elem.make "x"))
+
+let test_elem_counts () =
+  let e = Test_util.fig1 () in
+  let count tag = Xmlest.Elem.count (fun n -> n.Xmlest.Elem.tag = tag) e in
+  check Alcotest.int "faculty" 3 (count "faculty");
+  check Alcotest.int "TA" 5 (count "TA");
+  check Alcotest.int "RA" 10 (count "RA");
+  check Alcotest.int "name" 6 (count "name")
+
+let test_elem_tag_counts () =
+  let e = Test_util.fig1 () in
+  let counts = Xmlest.Elem.tag_counts e in
+  check
+    Alcotest.(list (pair string int))
+    "sorted tag counts"
+    [
+      ("RA", 10); ("TA", 5); ("department", 1); ("faculty", 3);
+      ("lecturer", 1); ("name", 6); ("research_scientist", 1);
+      ("secretary", 3); ("staff", 1);
+    ]
+    counts
+
+let test_elem_attr () =
+  let e = Xmlest.Elem.make ~attrs:[ ("id", "7"); ("k", "v") ] "x" in
+  check Alcotest.(option string) "attr found" (Some "7") (Xmlest.Elem.attr e "id");
+  check Alcotest.(option string) "attr missing" None (Xmlest.Elem.attr e "nope")
+
+let test_elem_fold_preorder () =
+  let e =
+    Xmlest.Elem.make "r"
+      ~children:
+        [
+          Xmlest.Elem.make "a" ~children:[ Xmlest.Elem.make "b" ];
+          Xmlest.Elem.make "c";
+        ]
+  in
+  let order =
+    List.rev (Xmlest.Elem.fold (fun acc n -> n.Xmlest.Elem.tag :: acc) [] e)
+  in
+  check Alcotest.(list string) "pre-order" [ "r"; "a"; "b"; "c" ] order
+
+(* --- Parser ----------------------------------------------------------- *)
+
+let parse = Xmlest.Xml_parser.parse_string_exn
+
+let test_parse_simple () =
+  let e = parse "<a><b>hi</b><c x='1'/></a>" in
+  check Alcotest.string "root tag" "a" e.Xmlest.Elem.tag;
+  check Alcotest.int "children" 2 (List.length e.Xmlest.Elem.children);
+  let b = List.nth e.Xmlest.Elem.children 0 in
+  check Alcotest.string "text" "hi" b.Xmlest.Elem.text;
+  let c = List.nth e.Xmlest.Elem.children 1 in
+  check Alcotest.(option string) "attr" (Some "1") (Xmlest.Elem.attr c "x")
+
+let test_parse_entities () =
+  let e = parse "<a>x &lt;&amp;&gt; &#65;&#x42; &quot;q&quot;</a>" in
+  check Alcotest.string "decoded" "x <&> AB \"q\"" e.Xmlest.Elem.text
+
+let test_parse_cdata_comments () =
+  let e = parse "<a><!-- note --><![CDATA[<raw&>]]><?pi data?></a>" in
+  check Alcotest.string "cdata kept raw" "<raw&>" e.Xmlest.Elem.text;
+  check Alcotest.int "no phantom children" 0 (List.length e.Xmlest.Elem.children)
+
+let test_parse_prolog () =
+  let e =
+    parse
+      "<?xml version=\"1.0\"?><!DOCTYPE a [<!ELEMENT a (#PCDATA)>]><!-- c --><a>t</a>"
+  in
+  check Alcotest.string "root" "a" e.Xmlest.Elem.tag;
+  check Alcotest.string "text" "t" e.Xmlest.Elem.text
+
+let test_parse_nested_same_tag () =
+  let e = parse "<a><a><a/></a></a>" in
+  check Alcotest.int "size" 3 (Xmlest.Elem.size e)
+
+let test_parse_errors () =
+  let bad s =
+    match Xmlest.Xml_parser.parse_string s with
+    | Ok _ -> Alcotest.failf "expected parse error for %S" s
+    | Error _ -> ()
+  in
+  bad "";
+  bad "<a>";
+  bad "<a></b>";
+  bad "<a><b></a></b>";
+  bad "<a>&unknown;</a>";
+  bad "<a/><b/>";
+  bad "just text"
+
+let test_parse_error_position () =
+  match Xmlest.Xml_parser.parse_string "<a>\n<b></c>\n</a>" with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error e -> check Alcotest.int "line" 2 e.Xmlest.Xml_parser.line
+
+let test_roundtrip_fixed () =
+  let e = Test_util.fig1 () in
+  let s = Xmlest.Xml_writer.to_string e in
+  let e' = parse s in
+  check Alcotest.bool "roundtrip equal" true (Xmlest.Elem.equal e e')
+
+let prop_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"writer/parser roundtrip"
+    (Test_util.elem_arbitrary ()) (fun e ->
+      let s = Xmlest.Xml_writer.to_string e in
+      Xmlest.Elem.equal e (parse s))
+
+let prop_roundtrip_compact =
+  QCheck.Test.make ~count:100 ~name:"roundtrip without indentation"
+    (Test_util.elem_arbitrary ()) (fun e ->
+      let s = Xmlest.Xml_writer.to_string ~indent:false e in
+      Xmlest.Elem.equal e (parse s))
+
+let test_escape () =
+  check Alcotest.string "text escape" "a&amp;b&lt;c&gt;d"
+    (Xmlest.Xml_writer.escape_text "a&b<c>d");
+  check Alcotest.string "attr escape" "&quot;x&amp;"
+    (Xmlest.Xml_writer.escape_attr "\"x&");
+  let e = Xmlest.Elem.leaf "t" "5 < 6 & \"q\"" in
+  check Alcotest.bool "escaped roundtrip" true
+    (Xmlest.Elem.equal e (parse (Xmlest.Xml_writer.to_string e)))
+
+let prop_parser_never_crashes =
+  (* Fuzz: arbitrary byte strings must yield Ok or Error, never an
+     exception or a hang. *)
+  QCheck.Test.make ~count:500 ~name:"parser total on arbitrary bytes"
+    QCheck.(string_of_size Gen.(int_bound 200))
+    (fun s ->
+      match Xmlest.Xml_parser.parse_string s with
+      | Ok _ | Error _ -> true)
+
+let prop_parser_never_crashes_xmlish =
+  (* Fuzz with XML-flavored fragments, which reach deeper code paths. *)
+  QCheck.Test.make ~count:500 ~name:"parser total on xml-ish soup"
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Xmlest.Splitmix.create seed in
+      let fragments =
+        [|
+          "<a>"; "</a>"; "<b x='1'>"; "<![CDATA["; "]]>"; "<!--"; "-->";
+          "&lt;"; "&#65;"; "&bad;"; "text"; "<?pi"; "?>"; "\""; "'"; "<";
+          ">"; "/>"; "<a"; "=";
+        |]
+      in
+      let n = Xmlest.Splitmix.int rng 20 in
+      let b = Buffer.create 64 in
+      for _ = 1 to n do
+        Buffer.add_string b (Xmlest.Splitmix.choose rng fragments)
+      done;
+      match Xmlest.Xml_parser.parse_string (Buffer.contents b) with
+      | Ok _ | Error _ -> true)
+
+(* --- Document labeling ------------------------------------------------ *)
+
+let test_labeling_intervals () =
+  let doc = Test_util.fig1_doc () in
+  let n = Xmlest.Document.size doc in
+  check Alcotest.int "node count" 31 n;
+  check Alcotest.int "max_pos" ((2 * n) - 1) (Xmlest.Document.max_pos doc);
+  (* start < end for every node, all endpoints distinct. *)
+  let seen = Hashtbl.create 64 in
+  for v = 0 to n - 1 do
+    let s = Xmlest.Document.start_pos doc v
+    and e = Xmlest.Document.end_pos doc v in
+    Alcotest.(check bool) "start < end" true (s < e);
+    Alcotest.(check bool) "start fresh" false (Hashtbl.mem seen s);
+    Alcotest.(check bool) "end fresh" false (Hashtbl.mem seen e);
+    Hashtbl.add seen s ();
+    Hashtbl.add seen e ()
+  done
+
+let test_labeling_containment () =
+  let doc = Test_util.fig1_doc () in
+  let n = Xmlest.Document.size doc in
+  (* Interval containment must coincide with tree ancestorship via parents. *)
+  let rec is_anc_by_parent a d =
+    let p = Xmlest.Document.parent doc d in
+    p >= 0 && (p = a || is_anc_by_parent a p)
+  in
+  for a = 0 to n - 1 do
+    for d = 0 to n - 1 do
+      let by_interval = Xmlest.Document.is_ancestor doc ~anc:a ~desc:d in
+      let by_parent = is_anc_by_parent a d in
+      if by_interval <> by_parent then
+        Alcotest.failf "ancestor mismatch for (%d, %d)" a d
+    done
+  done
+
+let prop_labeling =
+  QCheck.Test.make ~count:100 ~name:"labeling invariants on random trees"
+    (Test_util.elem_arbitrary ~max_nodes:80 ())
+    (fun e ->
+      let doc = Xmlest.Document.of_elem e in
+      let n = Xmlest.Document.size doc in
+      let ok = ref (n = Xmlest.Elem.size e) in
+      for v = 0 to n - 1 do
+        let s = Xmlest.Document.start_pos doc v in
+        let en = Xmlest.Document.end_pos doc v in
+        if s >= en then ok := false;
+        let p = Xmlest.Document.parent doc v in
+        if p >= 0 then begin
+          if
+            not
+              (Xmlest.Document.start_pos doc p < s
+              && en < Xmlest.Document.end_pos doc p)
+          then ok := false;
+          if Xmlest.Document.level doc v <> Xmlest.Document.level doc p + 1 then
+            ok := false
+        end;
+        if v > 0 && Xmlest.Document.start_pos doc (v - 1) >= s then ok := false;
+        let last = Xmlest.Document.subtree_last doc v in
+        if last < v || last >= n then ok := false
+      done;
+      !ok)
+
+let test_children_and_subtree () =
+  let doc = Test_util.fig1_doc () in
+  let root_children = Xmlest.Document.children doc 0 in
+  check Alcotest.int "root has 6 children" 6 (List.length root_children);
+  List.iter
+    (fun c -> check Alcotest.int "child parent" 0 (Xmlest.Document.parent doc c))
+    root_children;
+  check Alcotest.int "root subtree covers all" (Xmlest.Document.size doc)
+    (Xmlest.Document.subtree_size doc 0)
+
+let test_of_forest () =
+  let doc =
+    Xmlest.Document.of_forest [ Xmlest.Elem.make "x"; Xmlest.Elem.make "y" ]
+  in
+  check Alcotest.int "size with dummy root" 3 (Xmlest.Document.size doc);
+  check Alcotest.string "dummy root tag" "#root" (Xmlest.Document.tag doc 0);
+  check
+    Alcotest.(list string)
+    "tags" [ "#root"; "x"; "y" ]
+    (Xmlest.Document.distinct_tags doc)
+
+let test_tag_index () =
+  let doc = Test_util.fig1_doc () in
+  let ras = Xmlest.Document.nodes_with_tag doc "RA" in
+  check Alcotest.int "RA count" 10 (Array.length ras);
+  Array.iter
+    (fun v -> check Alcotest.string "tagged RA" "RA" (Xmlest.Document.tag doc v))
+    ras;
+  for k = 1 to Array.length ras - 1 do
+    Alcotest.(check bool)
+      "sorted" true
+      (Xmlest.Document.start_pos doc ras.(k - 1)
+      < Xmlest.Document.start_pos doc ras.(k))
+  done;
+  check Alcotest.int "unknown tag" 0
+    (Array.length (Xmlest.Document.nodes_with_tag doc "zzz"))
+
+let test_deep_tree_no_stack_overflow () =
+  (* 50k-deep chain: Document.of_elem must not recurse on the OCaml stack. *)
+  let rec chain k acc =
+    if k = 0 then acc else chain (k - 1) (Xmlest.Elem.make "n" ~children:[ acc ])
+  in
+  let e = chain 50_000 (Xmlest.Elem.make "leaf") in
+  let doc = Xmlest.Document.of_elem e in
+  check Alcotest.int "size" 50_001 (Xmlest.Document.size doc);
+  check Alcotest.int "leaf level" 50_000
+    (Xmlest.Document.level doc (Xmlest.Document.size doc - 1))
+
+let test_file_roundtrip () =
+  let e = Test_util.fig1 () in
+  let path = Filename.temp_file "xmlest" ".xml" in
+  Xmlest.Xml_writer.to_file path e;
+  (match Xmlest.Xml_parser.parse_file path with
+  | Ok e' -> Alcotest.(check bool) "file roundtrip" true (Xmlest.Elem.equal e e')
+  | Error err ->
+    Alcotest.failf "parse_file failed: %s"
+      (Format.asprintf "%a" Xmlest.Xml_parser.pp_error err));
+  Sys.remove path
+
+let test_document_roots () =
+  let single = Test_util.fig1_doc () in
+  Alcotest.(check bool) "of_elem: no dummy" false (Xmlest.Document.has_dummy_root single);
+  Alcotest.(check (list int)) "of_elem root" [ 0 ] (Xmlest.Document.document_roots single);
+  let forest =
+    Xmlest.Document.of_forest
+      [ Xmlest.Elem.make "x" ~children:[ Xmlest.Elem.make "y" ]; Xmlest.Elem.make "z" ]
+  in
+  Alcotest.(check bool) "of_forest: dummy" true (Xmlest.Document.has_dummy_root forest);
+  let roots = Xmlest.Document.document_roots forest in
+  Alcotest.(check (list string)) "forest roots" [ "x"; "z" ]
+    (List.map (Xmlest.Document.tag forest) roots)
+
+let test_writer_indentation () =
+  let e =
+    Xmlest.Elem.make "a"
+      ~children:[ Xmlest.Elem.make "b" ~children:[ Xmlest.Elem.leaf "c" "t" ] ]
+  in
+  let s = Xmlest.Xml_writer.to_string e in
+  Alcotest.(check bool) "child indented" true
+    (let rec contains sub s i =
+       i + String.length sub <= String.length s
+       && (String.sub s i (String.length sub) = sub || contains sub s (i + 1))
+     in
+     contains "\n  <b>" s 0 && contains "\n    <c>" s 0);
+  let compact = Xmlest.Xml_writer.to_string ~indent:false e in
+  Alcotest.(check bool) "compact has no inner newlines" true
+    (String.split_on_char '\n' compact |> List.length <= 3)
+
+(* --- Interval_ops ------------------------------------------------------ *)
+
+let test_nesting_detection () =
+  let doc = Test_util.fig1_doc () in
+  let nodes tag = Xmlest.Document.nodes_with_tag doc tag in
+  Alcotest.(check bool)
+    "faculty no-overlap" false
+    (Xmlest.Interval_ops.has_nesting doc (nodes "faculty"));
+  let nested = Xmlest.Document.of_elem (Test_util.nested ~depth:4 ~fanout:2) in
+  Alcotest.(check bool)
+    "sections nest" true
+    (Xmlest.Interval_ops.has_nesting nested
+       (Xmlest.Document.nodes_with_tag nested "section"))
+
+let test_nesting_counts () =
+  let doc = Xmlest.Document.of_elem (Test_util.nested ~depth:3 ~fanout:2) in
+  let sections = Xmlest.Document.nodes_with_tag doc "section" in
+  (* depth-3 binary: 1 + 2 + 4 = 7 sections; ancestor pairs: level-2 nodes
+     have 1 section ancestor (2×1), level-3 have 2 (4×2) = 10. *)
+  check Alcotest.int "sections" 7 (Array.length sections);
+  check Alcotest.int "nesting pairs" 10
+    (Xmlest.Interval_ops.count_nesting_pairs doc sections);
+  check Alcotest.int "max chain" 3
+    (Xmlest.Interval_ops.max_nesting_depth doc sections)
+
+let prop_nesting_matches_brute_force =
+  QCheck.Test.make ~count:150 ~name:"count_nesting_pairs = brute force"
+    (Test_util.doc_two_tags_arbitrary ~max_nodes:40 ())
+    (fun (_, doc, t1, _) ->
+      let nodes = Xmlest.Document.nodes_with_tag doc t1 in
+      let expected =
+        Test_util.brute_force_pairs doc (Xmlest.Predicate.tag t1)
+          (Xmlest.Predicate.tag t1) ~axis:`Descendant
+      in
+      Xmlest.Interval_ops.count_nesting_pairs doc nodes = expected)
+
+(* --- Doc_stats --------------------------------------------------------- *)
+
+let test_doc_stats () =
+  let doc = Test_util.fig1_doc () in
+  let stats = Xmlest.Doc_stats.tag_stats doc in
+  let find tag = List.find (fun s -> s.Xmlest.Doc_stats.tag = tag) stats in
+  let faculty = find "faculty" in
+  check Alcotest.int "faculty count" 3 faculty.Xmlest.Doc_stats.count;
+  Alcotest.(check bool)
+    "faculty no overlap" false faculty.Xmlest.Doc_stats.overlapping;
+  let ra = find "RA" in
+  check Alcotest.int "RA count" 10 ra.Xmlest.Doc_stats.count;
+  check Alcotest.int "RA level" 2 ra.Xmlest.Doc_stats.min_level;
+  check Alcotest.int "RA level max" 2 ra.Xmlest.Doc_stats.max_level
+
+let () =
+  Alcotest.run "xmldb"
+    [
+      ( "elem",
+        [
+          Alcotest.test_case "size and depth" `Quick test_elem_size_depth;
+          Alcotest.test_case "predicate counts" `Quick test_elem_counts;
+          Alcotest.test_case "tag counts" `Quick test_elem_tag_counts;
+          Alcotest.test_case "attributes" `Quick test_elem_attr;
+          Alcotest.test_case "pre-order fold" `Quick test_elem_fold_preorder;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "simple document" `Quick test_parse_simple;
+          Alcotest.test_case "entities" `Quick test_parse_entities;
+          Alcotest.test_case "cdata and comments" `Quick test_parse_cdata_comments;
+          Alcotest.test_case "prolog" `Quick test_parse_prolog;
+          Alcotest.test_case "nested same tag" `Quick test_parse_nested_same_tag;
+          Alcotest.test_case "malformed inputs" `Quick test_parse_errors;
+          Alcotest.test_case "error positions" `Quick test_parse_error_position;
+          Alcotest.test_case "fixed roundtrip" `Quick test_roundtrip_fixed;
+          Alcotest.test_case "escaping" `Quick test_escape;
+          qcheck prop_roundtrip;
+          qcheck prop_roundtrip_compact;
+          qcheck prop_parser_never_crashes;
+          qcheck prop_parser_never_crashes_xmlish;
+        ] );
+      ( "document",
+        [
+          Alcotest.test_case "interval labels" `Quick test_labeling_intervals;
+          Alcotest.test_case "containment = ancestorship" `Quick
+            test_labeling_containment;
+          Alcotest.test_case "children and subtree" `Quick test_children_and_subtree;
+          Alcotest.test_case "forest with dummy root" `Quick test_of_forest;
+          Alcotest.test_case "tag index" `Quick test_tag_index;
+          Alcotest.test_case "deep tree (50k levels)" `Quick
+            test_deep_tree_no_stack_overflow;
+          qcheck prop_labeling;
+          Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+          Alcotest.test_case "document roots" `Quick test_document_roots;
+          Alcotest.test_case "writer indentation" `Quick test_writer_indentation;
+        ] );
+      ( "interval_ops",
+        [
+          Alcotest.test_case "nesting detection" `Quick test_nesting_detection;
+          Alcotest.test_case "nesting counts" `Quick test_nesting_counts;
+          qcheck prop_nesting_matches_brute_force;
+        ] );
+      ("doc_stats", [ Alcotest.test_case "fig1 stats" `Quick test_doc_stats ]);
+    ]

@@ -1,0 +1,133 @@
+(* Shared fixtures and QCheck generators for the test suites. *)
+
+open Xmlest_core
+
+(* The example document of the paper's Fig. 1: a department with faculty,
+   staff, lecturer, research scientist; faculty have TAs and RAs. *)
+let fig1 () =
+  let e = Xmlest.Elem.make in
+  let leaf tag = Xmlest.Elem.make tag in
+  e "department"
+    ~children:
+      [
+        e "faculty" ~children:[ leaf "name"; leaf "RA" ];
+        e "staff" ~children:[ leaf "name" ];
+        e "faculty"
+          ~children:[ leaf "name"; leaf "secretary"; leaf "RA"; leaf "RA"; leaf "RA" ];
+        e "lecturer" ~children:[ leaf "name"; leaf "TA"; leaf "TA"; leaf "TA" ];
+        e "faculty"
+          ~children:[ leaf "name"; leaf "secretary"; leaf "TA"; leaf "RA"; leaf "RA"; leaf "TA" ];
+        e "research_scientist"
+          ~children:
+            [ leaf "name"; leaf "secretary"; leaf "RA"; leaf "RA"; leaf "RA"; leaf "RA" ];
+      ]
+
+let fig1_doc () = Xmlest.Document.of_elem (fig1 ())
+
+(* A small deeply-nested fixture: sections within sections. *)
+let nested ~depth ~fanout =
+  let rec go d =
+    if d = 0 then Xmlest.Elem.leaf "para" "text"
+    else
+      Xmlest.Elem.make "section" ~children:(List.init fanout (fun _ -> go (d - 1)))
+  in
+  Xmlest.Elem.make "doc" ~children:[ go depth ]
+
+(* --- Random element trees for property tests ------------------------- *)
+
+let tag_pool = [| "a"; "b"; "c"; "d"; "e" |]
+
+(* Random tree with [n] nodes, built by repeatedly attaching a fresh node
+   to a random existing node; tags drawn from a small pool so that
+   structural predicates select non-trivial, often-nested subsets. *)
+type mut = { mtag : string; mutable mchildren : mut list }
+
+let random_elem st n =
+  let tag () = tag_pool.(Random.State.int st (Array.length tag_pool)) in
+  let root = { mtag = tag (); mchildren = [] } in
+  let nodes = Array.make n root in
+  for k = 1 to n - 1 do
+    let parent = nodes.(Random.State.int st k) in
+    let node = { mtag = tag (); mchildren = [] } in
+    parent.mchildren <- node :: parent.mchildren;
+    nodes.(k) <- node
+  done;
+  let rec freeze m =
+    Xmlest.Elem.make m.mtag ~children:(List.rev_map freeze m.mchildren)
+  in
+  freeze root
+
+let elem_gen ?(max_nodes = 60) () st =
+  random_elem st (1 + Random.State.int st max_nodes)
+
+let elem_arbitrary ?max_nodes () =
+  QCheck.make
+    ~print:(fun e -> Format.asprintf "%a" Xmlest.Elem.pp e)
+    (elem_gen ?max_nodes ())
+
+let doc_gen ?max_nodes () st = Xmlest.Document.of_elem (elem_gen ?max_nodes () st)
+
+(* A document plus two tag predicates drawn from the pool. *)
+let doc_two_tags_gen ?max_nodes () st =
+  let tag () = tag_pool.(Random.State.int st (Array.length tag_pool)) in
+  let e = elem_gen ?max_nodes () st in
+  (e, Xmlest.Document.of_elem e, tag (), tag ())
+
+let doc_two_tags_arbitrary ?max_nodes () =
+  QCheck.make
+    ~print:(fun (e, _, t1, t2) ->
+      Format.asprintf "tags (%s, %s) in %a" t1 t2 Xmlest.Elem.pp e)
+    (doc_two_tags_gen ?max_nodes ())
+
+(* Exact pair count by definition (independent of the engine under test). *)
+let brute_force_pairs doc anc_pred desc_pred ~axis =
+  let n = Xmlest.Document.size doc in
+  let total = ref 0 in
+  for a = 0 to n - 1 do
+    if Xmlest.Predicate.eval anc_pred doc a then
+      for d = 0 to n - 1 do
+        if Xmlest.Predicate.eval desc_pred doc d then begin
+          let ok =
+            match axis with
+            | `Descendant -> Xmlest.Document.is_ancestor doc ~anc:a ~desc:d
+            | `Child -> Xmlest.Document.parent doc d = a
+          in
+          if ok then incr total
+        end
+      done
+  done;
+  !total
+
+(* Brute-force twig match count by enumerating all mappings. *)
+let brute_force_twig doc (pattern : Xmlest.Pattern.t) =
+  let n = Xmlest.Document.size doc in
+  let rec count (p : Xmlest.Pattern.t) v =
+    if not (Xmlest.Predicate.eval p.Xmlest.Pattern.pred doc v) then 0
+    else
+      List.fold_left
+        (fun acc (axis, child) ->
+          if acc = 0 then 0
+          else begin
+            let sub = ref 0 in
+            for u = 0 to n - 1 do
+              let related =
+                match axis with
+                | Xmlest.Pattern.Descendant ->
+                  Xmlest.Document.is_ancestor doc ~anc:v ~desc:u
+                | Xmlest.Pattern.Child -> Xmlest.Document.parent doc u = v
+              in
+              if related then sub := !sub + count child u
+            done;
+            acc * !sub
+          end)
+        1 p.Xmlest.Pattern.edges
+  in
+  let total = ref 0 in
+  for v = 0 to n - 1 do
+    total := !total + count pattern v
+  done;
+  !total
+
+let float_close ?(tolerance = 1e-9) a b =
+  Float.abs (a -. b)
+  <= tolerance *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
