@@ -5,7 +5,7 @@
 
    Usage: main.exe [section ...]
    Sections: table1 table2 table3 table4 fig11 fig12 twig ablation
-             theorems timing (default: all). *)
+             theorems timing caching (default: all). *)
 
 open Xmlest_core
 
@@ -838,6 +838,116 @@ let timing () =
      hardware; estimation must stay orders of magnitude below exact evaluation"
 
 (* ------------------------------------------------------------------ *)
+(* Coefficient caching: the histogram catalog's memoized pH-join       *)
+(* coefficient arrays under a repeated-estimate workload               *)
+(* ------------------------------------------------------------------ *)
+
+let caching () =
+  Report.section
+    "Coefficient caching: repeated estimates served from the histogram      catalog (grid 50, pH-join path)";
+  let doc = Data.dblp () in
+  let preds =
+    List.map tagp [ "article"; "author"; "cite"; "cdrom"; "book"; "title" ]
+  in
+  (* A larger grid makes the O(g^2) coefficient passes the dominant cost,
+     which is exactly what the catalog memoizes away. *)
+  let summary = Xmlest.Summary.build ~grid_size:50 ~with_levels:false doc preds in
+  let cat = Xmlest.Summary.catalog summary in
+  (* Same lookup interface with the cached fast path disabled: every
+     estimate recomputes its coefficient arrays from scratch. *)
+  let uncached =
+    {
+      cat with
+      Xmlest.Twig_estimator.desc_coefs = (fun _ -> None);
+      anc_coefs = (fun _ -> None);
+    }
+  in
+  let hcat = Xmlest.Summary.hist_catalog summary in
+  let desc_options = { overlap_options with direction = Xmlest.Ph_join.Descendant_based } in
+  let workload =
+    [
+      ("//article[.//author][.//cite]//cdrom", overlap_options, "anc-based");
+      ("//book[.//author][.//title]", overlap_options, "anc-based");
+      ("//article//author", desc_options, "desc-based");
+    ]
+  in
+  let rows =
+    List.map
+      (fun (query, options, dir) ->
+        let pattern = Xmlest.Pattern_parser.pattern_exn query in
+        let est c = Xmlest.Twig_estimator.estimate ~options c pattern in
+        let cold = est cat in
+        (* warm: the arrays are memoized now *)
+        Xmlest.Hist_catalog.reset_counters hcat;
+        let warm = est cat in
+        let plain = est uncached in
+        if warm <> cold || warm <> plain then
+          failwith
+            (Printf.sprintf
+               "caching bench: cached and uncached estimates disagree on %s"
+               query);
+        let t_cached = Data.time_per_call (fun () -> est cat) in
+        let t_uncached = Data.time_per_call (fun () -> est uncached) in
+        let c = Xmlest.Hist_catalog.counters hcat in
+        [
+          query; dir; Report.f1 warm; Report.us t_uncached; Report.us t_cached;
+          Printf.sprintf "%.1fx" (t_uncached /. t_cached);
+          string_of_int c.Xmlest.Hist_catalog.hits;
+          string_of_int c.Xmlest.Hist_catalog.misses;
+        ])
+      workload
+  in
+  Report.table
+    ([
+       "query"; "direction"; "estimate"; "uncached"; "cached"; "speedup";
+       "hits"; "misses";
+     ]
+    :: rows);
+  let c = Xmlest.Hist_catalog.counters hcat in
+  if c.Xmlest.Hist_catalog.hits = 0 then
+    failwith "caching bench: expected cache hits during the timed runs";
+  Report.note
+    "cached runs reuse the memoized coefficient arrays (hits > 0); uncached      runs redo the O(g^2) passes every estimate";
+
+  (* Save -> load round trip must preserve histograms and coefficient
+     arrays bit-exactly. *)
+  let path = Filename.temp_file "xmlest_bench" ".catalog" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Xmlest.Summary.save_catalog summary path;
+      match Xmlest.Summary.load_catalog path with
+      | Error e -> failwith ("caching bench: catalog load failed: " ^ e)
+      | Ok loaded ->
+        let bits a = Array.map Int64.bits_of_float a in
+        let arrays_identical k =
+          match
+            ( Xmlest.Hist_catalog.descendant_coefficients hcat k,
+              Xmlest.Hist_catalog.descendant_coefficients loaded k )
+          with
+          | Some a, Some b -> bits a = bits b
+          | None, None -> true
+          | _ -> false
+        in
+        let hist_identical k =
+          match
+            (Xmlest.Hist_catalog.find hcat k, Xmlest.Hist_catalog.find loaded k)
+          with
+          | Some a, Some b -> Xmlest.Position_histogram.equal a b
+          | _ -> false
+        in
+        let keys = Xmlest.Hist_catalog.keys hcat in
+        if
+          Xmlest.Hist_catalog.keys loaded = keys
+          && List.for_all hist_identical keys
+          && List.for_all arrays_identical keys
+        then
+          Report.note
+            "catalog save/load round trip: %d histograms and their      coefficient arrays identical to the last bit"
+            (List.length keys)
+        else failwith "caching bench: catalog round trip is not bit-exact")
+
+(* ------------------------------------------------------------------ *)
 (* Other data sets ("results substantially similar", Sec. 5.1)        *)
 (* ------------------------------------------------------------------ *)
 
@@ -893,6 +1003,7 @@ let sections =
     ("ablation", ablation);
     ("theorems", theorems);
     ("timing", timing);
+    ("caching", caching);
   ]
 
 let () =

@@ -173,7 +173,15 @@ let estimate_cmd =
     Arg.(value & flag & info [ "explain" ]
            ~doc:"Print the join-by-join estimation trace.")
   in
-  let run file from_summary query grid equidepth exact no_coverage explain =
+  let catalog_file =
+    Arg.(value & opt (some string) None & info [ "catalog" ] ~docv:"FILE"
+           ~doc:"Persist the histogram catalog (histograms + memoized \
+                 pH-join coefficients) in FILE: loaded before estimating \
+                 when present, saved back afterwards, so repeated \
+                 invocations reuse the coefficient arrays.")
+  in
+  let run file from_summary query grid equidepth exact no_coverage explain
+      catalog_file =
     let pattern = parse_query query in
     let summary, doc =
       if from_summary then begin
@@ -189,11 +197,28 @@ let estimate_cmd =
          Some doc)
       end
     in
+    (match catalog_file with
+    | Some path when Sys.file_exists path -> (
+      match Xmlest.Summary.load_catalog path with
+      | Ok from ->
+        let adopted = Xmlest.Summary.adopt_catalog summary ~from in
+        Printf.printf "catalog: adopted %d cached coefficient array%s from %s\n"
+          adopted (if adopted = 1 then "" else "s") path
+      | Error e ->
+        Printf.eprintf "cannot load catalog %s: %s\n" path e;
+        exit 1)
+    | _ -> ());
     let options =
       { Xmlest.Twig_estimator.default_options with use_no_overlap = not no_coverage }
     in
     let est = Xmlest.Summary.estimate ~options summary pattern in
     Printf.printf "estimate: %.1f\n" est;
+    (match catalog_file with
+    | Some path ->
+      Xmlest.Summary.save_catalog summary path;
+      Format.printf "%a" Xmlest.Hist_catalog.pp_stats
+        (Xmlest.Summary.hist_catalog summary)
+    | None -> ());
     if explain then begin
       let _, steps = Xmlest.Summary.explain ~options summary pattern in
       List.iter
@@ -223,7 +248,7 @@ let estimate_cmd =
   in
   Cmd.v info
     Term.(const run $ file $ from_summary $ query $ grid_arg $ equidepth_arg
-          $ exact $ no_coverage $ explain)
+          $ exact $ no_coverage $ explain $ catalog_file)
 
 (* --- plan -------------------------------------------------------------- *)
 

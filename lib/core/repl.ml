@@ -26,7 +26,13 @@ let help =
       "  hist <tag>                     ASCII heatmap of a tag's position histogram";
       "  save-summary <file>            persist the summary";
       "  load-summary <file>            load a persisted summary";
+      "  catalog stats                  histogram-catalog cache counters";
+      "  catalog reset                  zero the cache counters";
+      "  catalog save <file>            persist histograms + cached coefficients";
+      "  catalog load <file>            warm the cache from a saved catalog";
       "  help                           this text";
+      "";
+      "commands may be prefixed with ':' (e.g. ':catalog stats')";
     ]
 
 let tag_predicates doc =
@@ -189,6 +195,32 @@ let cmd_save_summary state path =
    with Sys_error msg -> reply "error: %s" msg);
   Printf.sprintf "saved summary to %s" path
 
+let cmd_catalog_stats state =
+  let summary = need_summary state in
+  Format.asprintf "%a" Xmlest_histogram.Catalog.pp_stats
+    (Summary.hist_catalog summary)
+
+let cmd_catalog_reset state =
+  let summary = need_summary state in
+  Xmlest_histogram.Catalog.reset_counters (Summary.hist_catalog summary);
+  "catalog counters reset"
+
+let cmd_catalog_save state path =
+  let summary = need_summary state in
+  (try Summary.save_catalog summary path
+   with Sys_error msg -> reply "error: %s" msg);
+  Printf.sprintf "saved catalog to %s" path
+
+let cmd_catalog_load state path =
+  let summary = need_summary state in
+  match Summary.load_catalog path with
+  | Ok from ->
+    let adopted = Summary.adopt_catalog summary ~from in
+    Printf.sprintf "adopted %d cached coefficient array%s from %s" adopted
+      (if adopted = 1 then "" else "s")
+      path
+  | Error msg -> reply "error: %s" msg
+
 let cmd_load_summary state path =
   match Summary.load path with
   | Ok s ->
@@ -204,7 +236,14 @@ let split line =
 
 let execute state line =
   try
-    match split line with
+    (* Allow the ':command' spelling common in other REPLs. *)
+    let stripped =
+      match split line with
+      | first :: rest when String.length first > 1 && first.[0] = ':' ->
+        String.sub first 1 (String.length first - 1) :: rest
+      | ws -> ws
+    in
+    match stripped with
     | [] -> ""
     | [ "help" ] -> help
     | [ "gen"; dataset ] -> cmd_gen state dataset 1.0
@@ -227,6 +266,12 @@ let execute state line =
     | [ "hist"; tag ] -> cmd_hist state tag
     | [ "save-summary"; path ] -> cmd_save_summary state path
     | [ "load-summary"; path ] -> cmd_load_summary state path
+    | [ "catalog"; "stats" ] -> cmd_catalog_stats state
+    | [ "catalog"; "reset" ] -> cmd_catalog_reset state
+    | [ "catalog"; "save"; path ] -> cmd_catalog_save state path
+    | [ "catalog"; "load"; path ] -> cmd_catalog_load state path
+    | [ "catalog" ] | "catalog" :: _ ->
+      reply "error: usage: catalog stats|reset|save <file>|load <file>"
     | cmd :: _ -> reply "error: unknown command %S (try 'help')" cmd
   with
   | Reply s -> s

@@ -18,9 +18,20 @@ type t = {
   entries : (string, entry) Hashtbl.t;  (* keyed by Predicate.name *)
   pop : Position_histogram.t;
   with_levels : bool;
-  extra : (string, Position_histogram.t) Hashtbl.t;  (* on-demand cache *)
+  hcat : Catalog.t;
+      (* every position histogram (base + built on demand), keyed by
+         Predicate.name, with memoized pH-join coefficient arrays *)
   lph_cache : (string, Level_position_histogram.t) Hashtbl.t;
 }
+
+(* The catalog lives below xmlest_estimate in the library stack, so the
+   coefficient computations are injected here, where both are in scope. *)
+let make_hist_catalog () =
+  Catalog.create ~compute_desc:Ph_join.descendant_coefficients
+    ~compute_anc:Ph_join.ancestor_coefficients ()
+
+let register_entries hcat entries =
+  Hashtbl.iter (fun key e -> Catalog.add hcat ~key e.hist) entries
 
 let build_entry ?(schema_no_overlap = fun _ -> None) ~grid ~with_levels doc pred =
   let nodes = Predicate.matching_nodes doc pred in
@@ -81,6 +92,8 @@ let build ?(grid_size = 10) ?(grid_kind = `Uniform) ?schema_no_overlap
         Hashtbl.add entries key
           (build_entry ?schema_no_overlap ~grid ~with_levels doc pred))
     preds;
+  let hcat = make_hist_catalog () in
+  register_entries hcat entries;
   {
     doc = Some doc;
     grid;
@@ -88,7 +101,7 @@ let build ?(grid_size = 10) ?(grid_kind = `Uniform) ?schema_no_overlap
     entries;
     pop = Position_histogram.population doc ~grid;
     with_levels;
-    extra = Hashtbl.create 8;
+    hcat;
     lph_cache = Hashtbl.create 8;
   }
 
@@ -106,7 +119,7 @@ let histogram t pred =
   let lookup p =
     match find t p with
     | Some e -> Some e.hist
-    | None -> Hashtbl.find_opt t.extra (Predicate.name p)
+    | None -> Catalog.find t.hcat (Predicate.name p)
   in
   (* A boolean combination is decomposed (per Sec. 3.4) only when all its
      non-boolean leaves are resolvable; otherwise the whole predicate is
@@ -128,7 +141,7 @@ let histogram t pred =
            (Predicate.name p))
     | Some doc ->
       let h = Position_histogram.build doc ~grid:t.grid p in
-      Hashtbl.add t.extra (Predicate.name p) h;
+      Catalog.add t.hcat ~key:(Predicate.name p) h;
       h
   in
   let base p =
@@ -172,13 +185,27 @@ let position_levels t pred =
       Hashtbl.add t.lph_cache key lph;
       Some lph)
 
+let hist_catalog t = t.hcat
+
 let catalog t =
   {
     Twig_estimator.hist = histogram t;
     coverage = coverage t;
     level = level t;
     position_levels = position_levels t;
+    desc_coefs =
+      (fun p -> Catalog.descendant_coefficients t.hcat (Predicate.name p));
+    anc_coefs =
+      (fun p -> Catalog.ancestor_coefficients t.hcat (Predicate.name p));
   }
+
+let save_catalog t path = Catalog.save t.hcat path
+
+let load_catalog path =
+  Catalog.load ~compute_desc:Ph_join.descendant_coefficients
+    ~compute_anc:Ph_join.ancestor_coefficients path
+
+let adopt_catalog t ~from = Catalog.absorb t.hcat ~from
 
 let estimate ?options t pattern = Twig_estimator.estimate ?options (catalog t) pattern
 
@@ -410,6 +437,8 @@ let of_string input =
     (match words (next ()) with
     | [ "end" ] -> ()
     | _ -> fail "expected end marker");
+    let hcat = make_hist_catalog () in
+    register_entries hcat entries;
     Ok
       {
         doc = None;
@@ -418,7 +447,7 @@ let of_string input =
         entries;
         pop;
         with_levels = !with_levels;
-        extra = Hashtbl.create 8;
+        hcat;
         lph_cache = Hashtbl.create 8;
       }
   with Bad_summary msg -> Error msg

@@ -60,7 +60,30 @@ val node_count : t -> Predicate.t -> float
 (** Total of the predicate's histogram (exact for catalog predicates). *)
 
 val catalog : t -> Twig_estimator.catalog
-(** View as the estimator's lookup interface. *)
+(** View as the estimator's lookup interface.  Its [desc_coefs]/[anc_coefs]
+    fields serve memoized pH-join coefficient arrays from the summary's
+    {!hist_catalog}, so repeated estimates over the same predicates skip
+    the O(g²) coefficient passes. *)
+
+val hist_catalog : t -> Catalog.t
+(** The histogram catalog backing this summary: every position histogram
+    (base predicates and those built on demand), keyed by
+    {!Xmlest_query.Predicate.name}, with memoized pH-join coefficients and
+    hit/miss/recompute counters. *)
+
+val save_catalog : t -> string -> unit
+(** Persist {!hist_catalog} — histograms and currently fresh coefficient
+    arrays — in the catalog's binary format (bit-exact floats). *)
+
+val load_catalog : string -> (Catalog.t, string) result
+(** Load a catalog saved by {!save_catalog}, wired to the pH-join
+    coefficient computations. *)
+
+val adopt_catalog : t -> from:Catalog.t -> int
+(** Warm this summary's {!hist_catalog} with the coefficient arrays of a
+    loaded catalog ({!Catalog.absorb}): arrays are adopted for every key
+    whose histogram is cell-identical in both.  Returns the number
+    adopted. *)
 
 val estimate : ?options:Twig_estimator.options -> t -> Pattern.t -> float
 (** Estimate the answer size of a twig pattern. *)

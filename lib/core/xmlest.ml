@@ -41,6 +41,7 @@ module Pattern_parser = Xmlest_query.Pattern_parser
 
 (* Histograms *)
 module Grid = Xmlest_histogram.Grid
+module Hist_catalog = Xmlest_histogram.Catalog
 module Position_histogram = Xmlest_histogram.Position_histogram
 module Coverage_histogram = Xmlest_histogram.Coverage_histogram
 module Level_histogram = Xmlest_histogram.Level_histogram

@@ -134,6 +134,35 @@ let estimate_cells ?(direction = Ancestor_based) ~anc ~desc () =
 let estimate ?direction ~anc ~desc () =
   Position_histogram.total (estimate_cells ?direction ~anc ~desc ())
 
+(* Same per-cell evaluation as [estimate_cells], with the O(g²) coefficient
+   pass replaced by a caller-provided array (e.g. memoized in a
+   [Catalog]).  With [Ancestor_based] the coefficients must be
+   [descendant_coefficients desc]; with [Descendant_based],
+   [ancestor_coefficients anc].  Kept structurally identical to
+   [estimate_cells] — including skipping zero products — so cached and
+   uncached runs produce bit-identical histograms. *)
+let estimate_cells_with ?(direction = Ancestor_based) ~coefs ~anc ~desc () =
+  check_grids anc desc;
+  let grid = Position_histogram.grid anc in
+  let g = grid.Grid.size in
+  if Array.length coefs <> g * g then
+    invalid_arg
+      (Printf.sprintf
+         "Ph_join.estimate_cells_with: %d coefficients for a %dx%d grid"
+         (Array.length coefs) g g);
+  let out = Position_histogram.create_empty grid in
+  let outer = match direction with
+    | Ancestor_based -> anc
+    | Descendant_based -> desc
+  in
+  Position_histogram.iter_nonzero outer (fun ~i ~j count ->
+      let est = count *. coefs.(idx g i j) in
+      if est <> 0.0 then Position_histogram.add out ~i ~j est);
+  out
+
+let estimate_with ?direction ~coefs ~anc ~desc () =
+  Position_histogram.total (estimate_cells_with ?direction ~coefs ~anc ~desc ())
+
 (* Sparse evaluation over the non-zero cells.
 
    Ancestor-based: for each non-zero ancestor cell (i, j),

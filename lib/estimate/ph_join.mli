@@ -75,3 +75,27 @@ val estimate_cells :
     attributed to the ancestor's cell; with [Descendant_based] to the
     descendant's cell.  Its {!Position_histogram.total} equals
     {!estimate}. *)
+
+val estimate_cells_with :
+  ?direction:direction ->
+  coefs:float array ->
+  anc:Position_histogram.t ->
+  desc:Position_histogram.t ->
+  unit ->
+  Position_histogram.t
+(** Like {!estimate_cells}, but with the O(g²) coefficient pass replaced
+    by a precomputed array — [descendant_coefficients desc] when
+    [Ancestor_based] (the default), [ancestor_coefficients anc] when
+    [Descendant_based] — typically served from a
+    {!Xmlest_histogram.Catalog}.  Produces a bit-identical histogram to
+    {!estimate_cells}.  Raises [Invalid_argument] when the array length
+    does not match the grid. *)
+
+val estimate_with :
+  ?direction:direction ->
+  coefs:float array ->
+  anc:Position_histogram.t ->
+  desc:Position_histogram.t ->
+  unit ->
+  float
+(** Total of {!estimate_cells_with}; bit-identical to {!estimate}. *)

@@ -6,6 +6,8 @@ type catalog = {
   coverage : Predicate.t -> Coverage_histogram.t option;
   level : Predicate.t -> Level_histogram.t option;
   position_levels : Predicate.t -> Level_position_histogram.t option;
+  desc_coefs : Predicate.t -> float array option;
+  anc_coefs : Predicate.t -> float array option;
 }
 
 type child_mode = As_descendant | Level_scaled | Cell_level_scaled
@@ -29,6 +31,10 @@ type view = {
   jn : float array;  (* join factor per cell (dense row-major) *)
   raw : Position_histogram.t;  (* untouched predicate histogram, for
                                   coverage participation scaling *)
+  source : Predicate.t option;
+      (* Some p iff part × jn is value-identical to the catalog histogram
+         of p (true for leaf views, lost after any join or scaling) — the
+         licence to reuse p's memoized pH-join coefficients *)
 }
 
 let idx g i j = (i * g) + j
@@ -43,12 +49,13 @@ let weighted v =
       if w <> 0.0 then Position_histogram.add out ~i ~j w);
   out
 
-let leaf_view hist =
+let leaf_view ?source hist =
   let grid = Position_histogram.grid hist in
   {
     part = Position_histogram.copy hist;
     jn = Array.make (Grid.cells grid) 1.0;
     raw = hist;
+    source;
   }
 
 (* Σ_{i <= m <= n <= j} h[m][n]: the descendant band of each cell,
@@ -73,18 +80,36 @@ let band_sums h =
    The view stays keyed at the ancestor predicate, so per-cell attribution
    is always ancestor-based; when the descendant-based estimator is
    requested, its (generally different) total is preserved by scaling the
-   ancestor-keyed cells uniformly. *)
-let join_overlap options anc_view desc_weight =
+   ancestor-keyed cells uniformly.
+
+   When a side of the join is still an untouched catalog histogram (its
+   [source] is known) and the catalog can serve that predicate's memoized
+   coefficient array, the O(g²) coefficient pass is skipped — bit-identical
+   results, per Ph_join.estimate_cells_with. *)
+let join_overlap options catalog ~desc_source anc_view desc_weight =
   let anc = weighted anc_view in
-  let est_cells = Ph_join.estimate_cells ~anc ~desc:desc_weight () in
+  let cached_desc_coefs =
+    Option.bind desc_source (fun p -> catalog.desc_coefs p)
+  in
+  let est_cells =
+    match cached_desc_coefs with
+    | Some coefs ->
+      Ph_join.estimate_cells_with ~coefs ~anc ~desc:desc_weight ()
+    | None -> Ph_join.estimate_cells ~anc ~desc:desc_weight ()
+  in
   let est_cells =
     match options.direction with
     | Ph_join.Ancestor_based -> est_cells
     | Ph_join.Descendant_based ->
       let anc_total = Position_histogram.total est_cells in
       let desc_total =
-        Ph_join.estimate ~direction:Ph_join.Descendant_based ~anc
-          ~desc:desc_weight ()
+        match Option.bind anc_view.source (fun p -> catalog.anc_coefs p) with
+        | Some coefs ->
+          Ph_join.estimate_with ~direction:Ph_join.Descendant_based ~coefs ~anc
+            ~desc:desc_weight ()
+        | None ->
+          Ph_join.estimate ~direction:Ph_join.Descendant_based ~anc
+            ~desc:desc_weight ()
       in
       if anc_total > 0.0 then
         Position_histogram.scale est_cells (desc_total /. anc_total)
@@ -95,6 +120,7 @@ let join_overlap options anc_view desc_weight =
     part = est_cells;
     jn = Array.make (Grid.cells grid) 1.0;
     raw = anc_view.raw;
+    source = None;
   }
 
 (* No-overlap composition (ancestor predicate cannot nest): coverage-based
@@ -122,7 +148,7 @@ let join_no_overlap anc_view coverage desc_weight desc_part =
         Position_histogram.add new_part ~i ~j p;
         new_jn.(idx g i j) <- Position_histogram.get est_cells ~i ~j /. p
       end);
-  { part = new_part; jn = new_jn; raw = anc_view.raw }
+  { part = new_part; jn = new_jn; raw = anc_view.raw; source = None }
 
 (* Parent-child edge with per-cell level correction (extension): a
    Child_join over the weighted histograms; participation follows the
@@ -133,12 +159,17 @@ let join_child_cell_level acc desc_weight ~anc_lph ~desc_lph =
       ~anc_levels:anc_lph ~desc_levels:desc_lph ()
   in
   let grid = Position_histogram.grid est_cells in
-  { part = est_cells; jn = Array.make (Grid.cells grid) 1.0; raw = acc.raw }
+  {
+    part = est_cells;
+    jn = Array.make (Grid.cells grid) 1.0;
+    raw = acc.raw;
+    source = None;
+  }
 
 type step = { subtwig : string; method_used : string; estimate : float }
 
 let rec view ?(options = default_options) ?trace catalog (p : Pattern.t) =
-  let self = leaf_view (catalog.hist p.Pattern.pred) in
+  let self = leaf_view ~source:p.Pattern.pred (catalog.hist p.Pattern.pred) in
   let coverage =
     if options.use_no_overlap then catalog.coverage p.Pattern.pred else None
   in
@@ -167,6 +198,9 @@ let rec view ?(options = default_options) ?trace catalog (p : Pattern.t) =
           if cell_level_available () then 1.0 else global_factor ()
       in
       let desc_weight = Position_histogram.scale (weighted child_view) factor in
+      (* Scaling by anything but 1 changes the cell values, so the child's
+         memoized coefficients no longer describe desc_weight. *)
+      let desc_source = if factor = 1.0 then child_view.source else None in
       let joined, method_used =
         match coverage with
         | Some cvg ->
@@ -182,8 +216,12 @@ let rec view ?(options = default_options) ?trace catalog (p : Pattern.t) =
             | Some anc_lph, Some desc_lph ->
               (join_child_cell_level acc desc_weight ~anc_lph ~desc_lph,
                "child-cell-level")
-            | _ -> (join_overlap options acc desc_weight, "pH-join"))
-          | _ -> (join_overlap options acc desc_weight, "pH-join"))
+            | _ ->
+              (join_overlap options catalog ~desc_source acc desc_weight,
+               "pH-join"))
+          | _ ->
+            (join_overlap options catalog ~desc_source acc desc_weight,
+             "pH-join"))
       in
       (match trace with
       | None -> ()

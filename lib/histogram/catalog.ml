@@ -1,0 +1,286 @@
+(* Histogram catalog with memoized pH-join coefficient arrays (Sec. 3.3's
+   space-for-time trade): a keyed store of position histograms that lazily
+   computes the per-histogram coefficient arrays, keeps them until the
+   underlying histogram mutates (detected via Position_histogram.version),
+   and counts hits/misses/recomputes so the caching can be observed.
+
+   The coefficient computations themselves live a layer up (Ph_join, in
+   xmlest_estimate, which depends on this library), so they are injected at
+   creation time as plain functions. *)
+
+type kind = Descendant | Ancestor
+
+type counters = {
+  hits : int;
+  misses : int;
+  recomputes : int;
+  compute_seconds : float;
+}
+
+type slot = { slot_version : int; coefs : float array }
+
+type entry = {
+  hist : Position_histogram.t;
+  mutable desc : slot option;
+  mutable anc : slot option;
+}
+
+type t = {
+  compute_desc : Position_histogram.t -> float array;
+  compute_anc : Position_histogram.t -> float array;
+  clock : unit -> float;
+  entries : (string, entry) Hashtbl.t;
+  mutable grid : Grid.t option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable recomputes : int;
+  mutable compute_seconds : float;
+}
+
+let create ?(clock = Sys.time) ~compute_desc ~compute_anc () =
+  {
+    compute_desc;
+    compute_anc;
+    clock;
+    entries = Hashtbl.create 32;
+    grid = None;
+    hits = 0;
+    misses = 0;
+    recomputes = 0;
+    compute_seconds = 0.0;
+  }
+
+let grid t = t.grid
+
+let length t = Hashtbl.length t.entries
+
+let keys t =
+  List.sort compare (Hashtbl.fold (fun key _ acc -> key :: acc) t.entries [])
+
+let mem t key = Hashtbl.mem t.entries key
+
+let find t key =
+  match Hashtbl.find_opt t.entries key with
+  | Some e -> Some e.hist
+  | None -> None
+
+let add t ~key hist =
+  let hgrid = Position_histogram.grid hist in
+  (match t.grid with
+  | None -> t.grid <- Some hgrid
+  | Some g ->
+    if not (Grid.compatible g hgrid) then
+      invalid_arg
+        (Printf.sprintf
+           "Catalog.add: histogram %S uses a grid incompatible with the \
+            catalog's"
+           key));
+  Hashtbl.replace t.entries key { hist; desc = None; anc = None }
+
+let remove t key = Hashtbl.remove t.entries key
+
+let find_or_build t ~key build =
+  match find t key with
+  | Some h -> h
+  | None ->
+    let h = build () in
+    add t ~key h;
+    h
+
+(* The memoization heart: serve the cached array when its version matches
+   the histogram's current one, otherwise (re)compute and re-stamp. *)
+let coefficients t key kind =
+  match Hashtbl.find_opt t.entries key with
+  | None -> None
+  | Some e ->
+    let version = Position_histogram.version e.hist in
+    let cached = match kind with Descendant -> e.desc | Ancestor -> e.anc in
+    (match cached with
+    | Some s when s.slot_version = version ->
+      t.hits <- t.hits + 1;
+      Some s.coefs
+    | stale ->
+      (match stale with
+      | Some _ -> t.recomputes <- t.recomputes + 1
+      | None -> t.misses <- t.misses + 1);
+      let t0 = t.clock () in
+      let compute =
+        match kind with Descendant -> t.compute_desc | Ancestor -> t.compute_anc
+      in
+      let coefs = compute e.hist in
+      t.compute_seconds <- t.compute_seconds +. (t.clock () -. t0);
+      let s = { slot_version = version; coefs } in
+      (match kind with Descendant -> e.desc <- Some s | Ancestor -> e.anc <- Some s);
+      Some coefs)
+
+let descendant_coefficients t key = coefficients t key Descendant
+let ancestor_coefficients t key = coefficients t key Ancestor
+
+let cached_arrays t =
+  Hashtbl.fold
+    (fun _ e acc ->
+      let fresh slot =
+        match slot with
+        | Some s when s.slot_version = Position_histogram.version e.hist -> 1
+        | _ -> 0
+      in
+      acc + fresh e.desc + fresh e.anc)
+    t.entries 0
+
+let counters t =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    recomputes = t.recomputes;
+    compute_seconds = t.compute_seconds;
+  }
+
+let reset_counters t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.recomputes <- 0;
+  t.compute_seconds <- 0.0
+
+let pp_stats ppf t =
+  Format.fprintf ppf "catalog: %d histograms%a, %d coefficient arrays cached@."
+    (length t)
+    (fun ppf -> function
+      | Some g -> Format.fprintf ppf " (%a)" Grid.pp g
+      | None -> ())
+    t.grid (cached_arrays t);
+  Format.fprintf ppf
+    "coefficients: %d hits, %d misses, %d recomputes; %.3fms computing@." t.hits
+    t.misses t.recomputes
+    (t.compute_seconds *. 1e3)
+
+(* --- Persistence -------------------------------------------------------
+
+   Binary format: a magic line followed by a marshaled snapshot made of
+   plain data only (ints, floats, strings, arrays), so it round-trips
+   floats bit-exactly and never captures closures.  Only coefficient
+   arrays whose version matches their histogram are persisted — a stale
+   slot must not be reborn as valid. *)
+
+type saved_grid = {
+  sg_uniform : bool;
+  sg_size : int;
+  sg_max_pos : int;
+  sg_boundaries : int array;
+}
+
+type saved_entry = {
+  se_key : string;
+  se_cells : (int * int * float) array;
+  se_desc : float array option;
+  se_anc : float array option;
+}
+
+type saved = { sv_grid : saved_grid option; sv_entries : saved_entry list }
+
+let magic = "xmlest-catalog 1\n"
+
+let snapshot t =
+  let saved_grid g =
+    {
+      sg_uniform = Grid.is_uniform g;
+      sg_size = g.Grid.size;
+      sg_max_pos = g.Grid.max_pos;
+      sg_boundaries = Array.copy g.Grid.boundaries;
+    }
+  in
+  let entry key e =
+    let cells = ref [] in
+    Position_histogram.iter_nonzero e.hist (fun ~i ~j v ->
+        cells := (i, j, v) :: !cells);
+    let fresh slot =
+      match slot with
+      | Some s when s.slot_version = Position_histogram.version e.hist ->
+        Some (Array.copy s.coefs)
+      | _ -> None
+    in
+    {
+      se_key = key;
+      se_cells = Array.of_list (List.rev !cells);
+      se_desc = fresh e.desc;
+      se_anc = fresh e.anc;
+    }
+  in
+  let entries =
+    Hashtbl.fold (fun key e acc -> entry key e :: acc) t.entries []
+    |> List.sort (fun a b -> compare a.se_key b.se_key)
+  in
+  { sv_grid = Option.map saved_grid t.grid; sv_entries = entries }
+
+let to_channel t oc =
+  output_string oc magic;
+  Marshal.to_channel oc (snapshot t) []
+
+let save t path =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel t oc)
+
+let restore ?clock ~compute_desc ~compute_anc (saved : saved) =
+  let t = create ?clock ~compute_desc ~compute_anc () in
+  let grid =
+    Option.map
+      (fun sg ->
+        if sg.sg_uniform then Grid.create ~size:sg.sg_size ~max_pos:sg.sg_max_pos
+        else Grid.of_boundaries sg.sg_boundaries)
+      saved.sv_grid
+  in
+  t.grid <- grid;
+  List.iter
+    (fun se ->
+      match grid with
+      | None -> failwith "catalog has entries but no grid"
+      | Some g ->
+        let hist = Position_histogram.create_empty g in
+        Array.iter (fun (i, j, v) -> Position_histogram.set hist ~i ~j v) se.se_cells;
+        let version = Position_histogram.version hist in
+        let slot = Option.map (fun coefs -> { slot_version = version; coefs }) in
+        Hashtbl.replace t.entries se.se_key
+          { hist; desc = slot se.se_desc; anc = slot se.se_anc })
+    saved.sv_entries;
+  t
+
+let of_channel ?clock ~compute_desc ~compute_anc ic =
+  match really_input_string ic (String.length magic) with
+  | header when header <> magic -> Error "not an xmlest catalog (bad header)"
+  | _ -> (
+    match (Marshal.from_channel ic : saved) with
+    | saved -> (
+      try Ok (restore ?clock ~compute_desc ~compute_anc saved) with
+      | Failure msg | Invalid_argument msg -> Error msg)
+    | exception _ -> Error "corrupt catalog (unmarshal failed)")
+  | exception End_of_file -> Error "not an xmlest catalog (truncated header)"
+
+let load ?clock ~compute_desc ~compute_anc path =
+  match open_in_bin path with
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> of_channel ?clock ~compute_desc ~compute_anc ic)
+  | exception Sys_error msg -> Error msg
+
+(* Adopt the fresh coefficient arrays of [from] for every key whose
+   histogram is cell-identical in both catalogs — the reuse step after
+   loading a persisted catalog next to a freshly built summary. *)
+let absorb t ~from =
+  let adopted = ref 0 in
+  Hashtbl.iter
+    (fun key e ->
+      match Hashtbl.find_opt from.entries key with
+      | Some fe when Position_histogram.equal e.hist fe.hist ->
+        let fv = Position_histogram.version fe.hist in
+        let v = Position_histogram.version e.hist in
+        let fresh = function
+          | Some s when s.slot_version = fv ->
+            incr adopted;
+            Some { slot_version = v; coefs = s.coefs }
+          | _ -> None
+        in
+        (match fresh fe.desc with Some s -> e.desc <- Some s | None -> ());
+        (match fresh fe.anc with Some s -> e.anc <- Some s | None -> ())
+      | _ -> ())
+    t.entries;
+  !adopted

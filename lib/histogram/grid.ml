@@ -26,6 +26,14 @@ let create ~size ~max_pos =
 
 let equidepth ~size ~max_pos ~positions =
   check_size ~fn:"Grid.equidepth" ~size ~max_pos;
+  (* Quantile extraction indexes into the sorted order; sort a copy so
+     callers may pass positions in any order without getting garbage
+     boundaries. *)
+  let positions =
+    let sorted = Array.copy positions in
+    Array.sort compare sorted;
+    sorted
+  in
   let n = Array.length positions in
   let boundaries = Array.make (size + 1) 0 in
   boundaries.(size) <- max_pos + 1;
@@ -85,7 +93,12 @@ let on_diagonal ~i ~j = i = j
 let is_uniform t = t.uniform_width <> None
 
 let compatible a b =
+  (* max_pos matters in every branch: two uniform grids with equal size and
+     width but different max_pos still bucket the tail positions
+     differently (the last boundary is clamped to max_pos + 1), so cell
+     coordinates would not refer to the same position ranges. *)
   a.size = b.size
+  && a.max_pos = b.max_pos
   &&
   match (a.uniform_width, b.uniform_width) with
   | Some wa, Some wb -> wa = wb

@@ -29,10 +29,12 @@ val create : size:int -> max_pos:int -> t
     positions than buckets ([size > max_pos + 1]). *)
 
 val equidepth : size:int -> max_pos:int -> positions:int array -> t
-(** Grid whose bucket boundaries sit at quantiles of [positions] (a sorted
-    array of values in [0 .. max_pos]), so each bucket holds roughly the
-    same number of population positions.  Degenerates gracefully when
-    [positions] has fewer than [size] distinct values. *)
+(** Grid whose bucket boundaries sit at quantiles of [positions] (an array
+    of values in [0 .. max_pos]), so each bucket holds roughly the same
+    number of population positions.  The input need not be sorted: a copy
+    is sorted internally, and the argument array is never modified.
+    Degenerates gracefully when [positions] has fewer than [size] distinct
+    values. *)
 
 val of_boundaries : int array -> t
 (** Grid from explicit boundaries: [size + 1] strictly increasing entries
@@ -63,8 +65,10 @@ val is_uniform : t -> bool
 
 val compatible : t -> t -> bool
 (** Identical bucketization — required of histogram pairs fed to the join
-    estimators.  Uniform grids are compatible when size and width agree;
-    boundary grids when all boundaries agree. *)
+    estimators.  Size and [max_pos] must agree in every case (grids over
+    different position ranges clamp their last bucket differently even at
+    equal width); uniform grids additionally need equal widths, boundary
+    grids equal boundary arrays. *)
 
 val iter_upper : t -> (i:int -> j:int -> unit) -> unit
 (** Iterate cells with [i <= j], row by row. *)

@@ -1,23 +1,52 @@
 open Xmlest_xmldb
 open Xmlest_query
 
-type t = { grid : Grid.t; counts : float array; mutable total : float }
+type t = {
+  grid : Grid.t;
+  counts : float array;
+  mutable total : float;
+  mutable version : int;
+}
 
-let create_empty grid = { grid; counts = Array.make (Grid.cells grid) 0.0; total = 0.0 }
+let create_empty grid =
+  { grid; counts = Array.make (Grid.cells grid) 0.0; total = 0.0; version = 0 }
 
 let grid t = t.grid
+
+let version t = t.version
+
+(* Only the upper triangle is meaningful (start bucket <= end bucket, see
+   Lemma 1's staircase): a write below the diagonal would inflate [total]
+   while staying invisible to [iter_nonzero], silently skewing every
+   estimate derived from the histogram. *)
+let check_cell fn t ~i ~j =
+  let g = t.grid.Grid.size in
+  if i < 0 || j < 0 || i >= g || j >= g then
+    invalid_arg
+      (Printf.sprintf "Position_histogram.%s: cell (%d,%d) outside the %dx%d grid"
+         fn i j g g);
+  if i > j then
+    invalid_arg
+      (Printf.sprintf
+         "Position_histogram.%s: cell (%d,%d) is below the diagonal (start \
+          bucket must not exceed end bucket)"
+         fn i j)
 
 let get t ~i ~j = t.counts.(Grid.index t.grid ~i ~j)
 
 let set t ~i ~j v =
+  check_cell "set" t ~i ~j;
   let idx = Grid.index t.grid ~i ~j in
   t.total <- t.total -. t.counts.(idx) +. v;
-  t.counts.(idx) <- v
+  t.counts.(idx) <- v;
+  t.version <- t.version + 1
 
 let add t ~i ~j v =
+  check_cell "add" t ~i ~j;
   let idx = Grid.index t.grid ~i ~j in
   t.counts.(idx) <- t.counts.(idx) +. v;
-  t.total <- t.total +. v
+  t.total <- t.total +. v;
+  t.version <- t.version + 1
 
 let total t = t.total
 
@@ -45,16 +74,24 @@ let population doc ~grid =
       add t ~i ~j 1.0);
   t
 
-let copy t = { grid = t.grid; counts = Array.copy t.counts; total = t.total }
+let copy t =
+  { grid = t.grid; counts = Array.copy t.counts; total = t.total; version = 0 }
+
+let equal a b = Grid.compatible a.grid b.grid && a.counts = b.counts
 
 let map2 f a b =
   if not (Grid.compatible a.grid b.grid) then
     invalid_arg "Position_histogram.map2: incompatible grids";
   let counts = Array.map2 f a.counts b.counts in
-  { grid = a.grid; counts; total = Array.fold_left ( +. ) 0.0 counts }
+  { grid = a.grid; counts; total = Array.fold_left ( +. ) 0.0 counts; version = 0 }
 
 let scale t k =
-  { grid = t.grid; counts = Array.map (fun v -> v *. k) t.counts; total = t.total *. k }
+  {
+    grid = t.grid;
+    counts = Array.map (fun v -> v *. k) t.counts;
+    total = t.total *. k;
+    version = 0;
+  }
 
 let iter_nonzero t f =
   let g = t.grid.Grid.size in
@@ -90,8 +127,12 @@ let pp ppf t =
 let pp_heatmap ppf t =
   let g = t.grid.Grid.size in
   let max_count =
-    Array.fold_left (fun acc v -> Float.max acc v) 0.0 t.counts
+    Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 t.counts
   in
+  (* Shares are meaningless when the total is zero or negative (possible
+     after map2 subtraction): classify against the largest magnitude
+     instead of producing NaN/negative shares that all render as '.'. *)
+  let denom = if t.total > 0.0 then t.total else max_count in
   Format.fprintf ppf "start\\end 0..%d (total %g)@." (g - 1) t.total;
   for i = 0 to g - 1 do
     Format.fprintf ppf "%3d " i;
@@ -101,9 +142,9 @@ let pp_heatmap ppf t =
         else begin
           let v = t.counts.(Grid.index t.grid ~i ~j) in
           if v = 0.0 then '-'
-          else if max_count <= 0.0 then '.'
+          else if denom <= 0.0 then '.'
           else begin
-            let share = v /. t.total in
+            let share = Float.abs v /. denom in
             if share >= 0.10 then '#'
             else if share >= 0.03 then 'O'
             else if share >= 0.01 then 'o'

@@ -28,11 +28,29 @@ val create_empty : Grid.t -> t
 
 val grid : t -> Grid.t
 val get : t -> i:int -> j:int -> float
+
 val set : t -> i:int -> j:int -> float -> unit
+(** Overwrite a cell.  Raises [Invalid_argument] for cells outside the grid
+    or below the diagonal ([i > j]): since [start < end] for every node,
+    only upper-triangle cells are meaningful, and a below-diagonal write
+    would inflate {!total} while staying invisible to {!iter_nonzero}.
+    Bumps {!version}. *)
+
 val add : t -> i:int -> j:int -> float -> unit
+(** Accumulate into a cell.  Same cell validation as {!set}; bumps
+    {!version}. *)
+
 val total : t -> float
 
+val version : t -> int
+(** Mutation counter: starts at 0 and is bumped by every {!set}/{!add}.
+    Consumers that memoize derived data (e.g. {!Catalog}'s pH-join
+    coefficient arrays) compare versions to detect staleness. *)
+
 val copy : t -> t
+
+val equal : t -> t -> bool
+(** Same (compatible) grid and identical cell counts. *)
 
 val map2 : (float -> float -> float) -> t -> t -> t
 (** Cellwise combination; grids must be compatible. *)
@@ -62,4 +80,6 @@ val pp : Format.formatter -> t -> unit
 val pp_heatmap : Format.formatter -> t -> unit
 (** ASCII density plot of the grid: rows are start buckets, columns end
     buckets; [.]/[o]/[O]/[#] mark increasing shares of the total count
-    ([#] >= 10%). *)
+    ([#] >= 10%).  When the total is zero or negative (possible for derived
+    histograms, e.g. a {!map2} difference), shares are taken against the
+    largest cell magnitude instead. *)

@@ -11,12 +11,23 @@ let drop_last l =
 
 let rank ?options catalog pattern =
   let plans = Plan.enumerate pattern in
+  (* Different plans of one pattern share many prefixes (every plan ends in
+     the full pattern, and small prefixes recur across join orders), so
+     estimates are memoized per sub-twig for the duration of the ranking. *)
+  let memo = Hashtbl.create 32 in
+  let estimate prefix =
+    let key = Xmlest_query.Pattern.to_string prefix in
+    match Hashtbl.find_opt memo key with
+    | Some v -> v
+    | None ->
+      let v = Twig_estimator.estimate ?options catalog prefix in
+      Hashtbl.add memo key v;
+      v
+  in
   let costed =
     List.map
       (fun plan ->
-        let intermediates =
-          List.map (Twig_estimator.estimate ?options catalog) plan.Plan.prefixes
-        in
+        let intermediates = List.map estimate plan.Plan.prefixes in
         let cost = List.fold_left ( +. ) 0.0 (drop_last intermediates) in
         { plan; cost; intermediates })
       plans

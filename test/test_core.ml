@@ -452,6 +452,24 @@ let test_repl_hist_command () =
     (let out = run "hist nonexistent" in
      String.length out >= 5 && String.sub out 0 5 = "error")
 
+let test_repl_catalog_commands () =
+  let state = Xmlest.Repl.create () in
+  let run cmd = Xmlest.Repl.execute state cmd in
+  Alcotest.(check bool) "needs summary" true (contains "error" (run "catalog stats"));
+  ignore (run "gen staff");
+  ignore (run "summarize");
+  (* the ':' prefix used by interactive sessions is accepted *)
+  let stats = run ":catalog stats" in
+  Alcotest.(check bool) "histogram count shown" true (contains "histograms" stats);
+  Alcotest.(check bool) "counters shown" true (contains "hits" stats);
+  ignore (run "estimate //manager//employee");
+  let path = Filename.temp_file "xmlest_repl" ".catalog" in
+  Alcotest.(check bool) "save" true (contains "saved catalog" (run ("catalog save " ^ path)));
+  Alcotest.(check bool) "reset" true (contains "reset" (run "catalog reset"));
+  Alcotest.(check bool) "load adopts" true (contains "adopted" (run ("catalog load " ^ path)));
+  Alcotest.(check bool) "usage error" true (contains "error" (run "catalog"));
+  Sys.remove path
+
 let test_repl_equidepth_summarize () =
   let state = Xmlest.Repl.create () in
   let run cmd = Xmlest.Repl.execute state cmd in
@@ -502,6 +520,7 @@ let () =
           Alcotest.test_case "errors" `Quick test_repl_errors;
           Alcotest.test_case "equidepth summarize" `Quick test_repl_equidepth_summarize;
           Alcotest.test_case "hist command" `Quick test_repl_hist_command;
+          Alcotest.test_case "catalog commands" `Quick test_repl_catalog_commands;
         ] );
       ( "end_to_end",
         [

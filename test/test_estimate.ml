@@ -163,6 +163,40 @@ let prop_sparse_equals_dense =
       in
       both Xmlest.Ph_join.Ancestor_based && both Xmlest.Ph_join.Descendant_based)
 
+(* Satellite property: the three pH-join evaluation paths — dense passes,
+   sparse Fenwick evaluation, and the memoized-coefficient fast path — must
+   agree on random histograms, in both directions. *)
+let prop_cached_equals_dense_equals_sparse =
+  QCheck.Test.make ~count:200
+    ~name:"estimate_with (cached coefficients) = estimate = estimate_sparse"
+    QCheck.(pair (Test_util.doc_two_tags_arbitrary ~max_nodes:60 ()) (int_range 1 16))
+    (fun ((_, doc, t1, t2), size) ->
+      let anc = hist doc size (tagp t1) and desc = hist doc size (tagp t2) in
+      let agree direction =
+        let coefs =
+          match direction with
+          | Xmlest.Ph_join.Ancestor_based ->
+            Xmlest.Ph_join.descendant_coefficients desc
+          | Xmlest.Ph_join.Descendant_based ->
+            Xmlest.Ph_join.ancestor_coefficients anc
+        in
+        let dense = Xmlest.Ph_join.estimate ~direction ~anc ~desc () in
+        let cached = Xmlest.Ph_join.estimate_with ~direction ~coefs ~anc ~desc () in
+        let sparse = Xmlest.Ph_join.estimate_sparse ~direction ~anc ~desc () in
+        (* same coefficients, same iteration order: bit-identical *)
+        cached = dense && Test_util.float_close ~tolerance:1e-9 dense sparse
+      in
+      agree Xmlest.Ph_join.Ancestor_based && agree Xmlest.Ph_join.Descendant_based)
+
+let test_estimate_with_checks_length () =
+  let doc = Test_util.fig1_doc () in
+  let anc = hist doc 4 (tagp "faculty") and desc = hist doc 4 (tagp "TA") in
+  Alcotest.check_raises "wrong coefficient array length"
+    (Invalid_argument
+       "Ph_join.estimate_cells_with: 3 coefficients for a 4x4 grid") (fun () ->
+      ignore
+        (Xmlest.Ph_join.estimate_with ~coefs:(Array.make 3 0.0) ~anc ~desc ()))
+
 let test_sparse_on_real_data () =
   let doc = Xmlest.Document.of_elem (Xmlest.Dblp_gen.generate_scaled 0.02) in
   List.iter
@@ -688,6 +722,9 @@ let () =
           qcheck prop_ph_join_below_naive;
           qcheck prop_cell_pair_weights_sum_to_estimate;
           qcheck prop_sparse_equals_dense;
+          qcheck prop_cached_equals_dense_equals_sparse;
+          Alcotest.test_case "estimate_with validates array length" `Quick
+            test_estimate_with_checks_length;
           Alcotest.test_case "sparse = dense on DBLP sample" `Quick
             test_sparse_on_real_data;
         ] );
