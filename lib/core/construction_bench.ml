@@ -1,0 +1,81 @@
+open Xmlest_xmldb
+
+type result = {
+  dataset : string;
+  nodes : int;
+  predicates : int;
+  grid_size : int;
+  grid_kind : [ `Uniform | `Equidepth ];
+  fused_time : float;
+  legacy_time : float;
+  speedup : float;
+  fused_passes : int;
+  legacy_passes : int;
+  fused_evals : int;
+  legacy_evals : int;
+  identical : bool;
+}
+
+let require_stats = function
+  | Some (s : Summary.build_stats) -> s
+  | None -> invalid_arg "Construction_bench: summary carries no build stats"
+
+let run ?(grid_size = 10) ?(grid_kind = `Uniform) ?(repeats = 1) ~dataset doc
+    preds =
+  if repeats < 1 then invalid_arg "Construction_bench.run: repeats must be >= 1";
+  let best build =
+    (* Keep the summary of the first run (for the identity check) but report
+       the minimum wall time over [repeats] builds. *)
+    let first = build () in
+    let stats = require_stats (Summary.stats first) in
+    let time = ref stats.Summary.build_time in
+    for _ = 2 to repeats do
+      let s = require_stats (Summary.stats (build ())) in
+      if s.Summary.build_time < !time then time := s.Summary.build_time
+    done;
+    (first, stats, !time)
+  in
+  let fused, fstats, ftime =
+    best (fun () -> Summary.build ~grid_size ~grid_kind doc preds)
+  in
+  let legacy, lstats, ltime =
+    best (fun () -> Summary.build_legacy ~grid_size ~grid_kind doc preds)
+  in
+  {
+    dataset;
+    nodes = Document.size doc;
+    predicates = List.length preds;
+    grid_size;
+    grid_kind;
+    fused_time = ftime;
+    legacy_time = ltime;
+    speedup = (if ftime > 0.0 then ltime /. ftime else Float.infinity);
+    fused_passes = fstats.Summary.passes;
+    legacy_passes = lstats.Summary.passes;
+    fused_evals = fstats.Summary.predicate_evals;
+    legacy_evals = lstats.Summary.predicate_evals;
+    identical =
+      String.equal (Summary.to_string fused) (Summary.to_string legacy);
+  }
+
+let kind_name = function `Uniform -> "uniform" | `Equidepth -> "equidepth"
+
+let result_to_json r =
+  Printf.sprintf
+    "{\"dataset\": %S, \"nodes\": %d, \"predicates\": %d, \"grid_size\": %d, \
+     \"grid_kind\": %S, \"fused_time_s\": %.6f, \"legacy_time_s\": %.6f, \
+     \"speedup\": %.3f, \"fused_passes\": %d, \"legacy_passes\": %d, \
+     \"fused_evals\": %d, \"legacy_evals\": %d, \"identical\": %b}"
+    r.dataset r.nodes r.predicates r.grid_size (kind_name r.grid_kind)
+    r.fused_time r.legacy_time r.speedup r.fused_passes r.legacy_passes
+    r.fused_evals r.legacy_evals r.identical
+
+let to_json results =
+  let body = List.map (fun r -> "  " ^ result_to_json r) results in
+  "[\n" ^ String.concat ",\n" body ^ "\n]\n"
+
+let write_json path results =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_json results))

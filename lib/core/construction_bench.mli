@@ -1,0 +1,53 @@
+(** Fused-vs-legacy summary construction comparison.
+
+    Builds the same catalog twice — {!Summary.build} (fused single sweep)
+    and {!Summary.build_legacy} (per-predicate passes) — and reports wall
+    time, pass counts, predicate evaluations and whether the two summaries
+    are bit-identical ({!Summary.to_string} equality).  Used by
+    [bench construction] (which writes [BENCH_construction.json]) and
+    smoke-tested in the suite so the comparison can't rot. *)
+
+open Xmlest_xmldb
+open Xmlest_query
+
+type result = {
+  dataset : string;
+  nodes : int;
+  predicates : int;
+  grid_size : int;
+  grid_kind : [ `Uniform | `Equidepth ];
+  fused_time : float;  (** Best wall time over [repeats] fused builds. *)
+  legacy_time : float;  (** Best wall time over [repeats] legacy builds. *)
+  speedup : float;  (** [legacy_time /. fused_time]. *)
+  fused_passes : int;
+  legacy_passes : int;
+  fused_evals : int;
+  legacy_evals : int;
+  identical : bool;
+      (** Whether the two summaries serialize to the same bytes. *)
+}
+
+val run :
+  ?grid_size:int ->
+  ?grid_kind:[ `Uniform | `Equidepth ] ->
+  ?repeats:int ->
+  dataset:string ->
+  Document.t ->
+  Predicate.t list ->
+  result
+(** Build both paths over [doc] and [preds].  [repeats] (default 1) re-runs
+    each build and keeps the minimum wall time; the identity check uses the
+    first summary of each path.  Raises [Invalid_argument] when [repeats]
+    < 1. *)
+
+val kind_name : [ `Uniform | `Equidepth ] -> string
+(** ["uniform"] or ["equidepth"]. *)
+
+val result_to_json : result -> string
+(** One result as a JSON object (single line). *)
+
+val to_json : result list -> string
+(** A JSON array of results, newline-terminated. *)
+
+val write_json : string -> result list -> unit
+(** Write {!to_json} to a file, truncating it. *)

@@ -11,6 +11,13 @@ type entry = {
   lvl : Level_histogram.t option;
 }
 
+type build_stats = {
+  path : [ `Fused | `Legacy ];
+  passes : int;
+  predicate_evals : int;
+  build_time : float;
+}
+
 type t = {
   doc : Document.t option;  (* None for summaries loaded from disk *)
   grid : Grid.t;
@@ -22,6 +29,7 @@ type t = {
       (* every position histogram (base + built on demand), keyed by
          Predicate.name, with memoized pH-join coefficient arrays *)
   lph_cache : (string, Level_position_histogram.t) Hashtbl.t;
+  stats : build_stats option;  (* None for summaries loaded from disk *)
 }
 
 (* The catalog lives below xmlest_estimate in the library stack, so the
@@ -72,15 +80,36 @@ let summary_positions doc preds =
           else Document.end_pos doc (k / 2))
     | l -> Array.of_list l
   in
-  Array.sort compare positions;
+  Array.sort Int.compare positions;
   positions
 
-let build ?(grid_size = 10) ?(grid_kind = `Uniform) ?schema_no_overlap
+(* Traversal and AST-eval accounting for the legacy path, mirroring its
+   call sites exactly: one [matching_nodes] pass evaluates the AST on the
+   tag-index candidates (or every node when no conjunct pins the tag, and
+   not at all for bare tag predicates); [Coverage_histogram.build]
+   evaluates the predicate once per node with a parent (all but the store
+   root); [Level_histogram.build] runs its own [matching_nodes]. *)
+let legacy_matching_evals doc pred =
+  match pred with
+  | Predicate.True | Predicate.Tag _ -> 0
+  | p -> (
+    match Predicate.tag_of p with
+    | Some t -> Document.tag_count doc t
+    | None -> Document.size doc)
+
+let build_legacy ?(grid_size = 10) ?(grid_kind = `Uniform) ?schema_no_overlap
     ?(with_levels = true) doc preds =
+  let t0 = Sys.time () in
+  let passes = ref 0 and evals = ref 0 in
   let grid =
     match grid_kind with
     | `Uniform -> Grid.create ~size:grid_size ~max_pos:(Document.max_pos doc)
     | `Equidepth ->
+      List.iter
+        (fun pred ->
+          incr passes;
+          evals := !evals + legacy_matching_evals doc pred)
+        preds;
       Grid.equidepth ~size:grid_size ~max_pos:(Document.max_pos doc)
         ~positions:(summary_positions doc preds)
   in
@@ -88,12 +117,25 @@ let build ?(grid_size = 10) ?(grid_kind = `Uniform) ?schema_no_overlap
   List.iter
     (fun pred ->
       let key = Predicate.name pred in
-      if not (Hashtbl.mem entries key) then
-        Hashtbl.add entries key
-          (build_entry ?schema_no_overlap ~grid ~with_levels doc pred))
+      if not (Hashtbl.mem entries key) then begin
+        let e = build_entry ?schema_no_overlap ~grid ~with_levels doc pred in
+        (* matching_nodes + of_nodes + has_nesting, plus a full coverage
+           pass when built, plus matching_nodes + fill for levels. *)
+        passes :=
+          !passes + 3
+          + (if e.cvg <> None then 1 else 0)
+          + (if with_levels then 2 else 0);
+        evals :=
+          !evals
+          + legacy_matching_evals doc pred
+          + (if e.cvg <> None then Document.size doc - 1 else 0)
+          + (if with_levels then legacy_matching_evals doc pred else 0);
+        Hashtbl.add entries key e
+      end)
     preds;
   let hcat = make_hist_catalog () in
   register_entries hcat entries;
+  incr passes (* population histogram *);
   {
     doc = Some doc;
     grid;
@@ -103,7 +145,233 @@ let build ?(grid_size = 10) ?(grid_kind = `Uniform) ?schema_no_overlap
     with_levels;
     hcat;
     lph_cache = Hashtbl.create 8;
+    stats =
+      Some
+        {
+          path = `Legacy;
+          passes = !passes;
+          predicate_evals = !evals;
+          build_time = Sys.time () -. t0;
+        };
   }
+
+(* --- Fused single-pass construction ----------------------------------- *)
+
+(* One document-order sweep fills, for every base predicate at once: the
+   position histogram, the level histogram, the coverage run-length lists
+   and the no-overlap flag — plus the shared population histogram.  Per
+   node, the dispatch table evaluates only the predicates pinned to the
+   node's tag (plus unpinned ones); each predicate's interval stream then
+   yields its nearest strict P-ancestor for the coverage feed.  Node cells
+   are computed once and cached ([node_cell]): ancestors precede their
+   descendants in document order, so the covering cell is always a lookup.
+
+   Uniform grids need a single pass.  Equi-depth grids need the matched
+   node sets before the grid exists, so a first match-only pass collects
+   them (also yielding the quantile positions), and the fill pass replays
+   the matches through per-predicate cursors without re-evaluating
+   anything — the feed sequences are identical to the legacy builders',
+   so the resulting histograms are bit-identical. *)
+let build_fused ?(grid_size = 10) ?(grid_kind = `Uniform) ?schema_no_overlap
+    ?(with_levels = true) doc preds =
+  let t0 = Sys.time () in
+  let n = Document.size doc in
+  (* Unique predicates in first-occurrence order (the legacy dedup). *)
+  let uniq =
+    let seen = Hashtbl.create 16 in
+    let out = ref [] in
+    List.iter
+      (fun pred ->
+        let key = Predicate.name pred in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.add seen key (List.length !out);
+          out := (key, pred) :: !out
+        end)
+      preds;
+    (seen, Array.of_list (List.rev !out))
+  in
+  let uniq_index, uniq = uniq in
+  let p = Array.length uniq in
+  let disp = Predicate.dispatch doc (List.map snd (Array.to_list uniq)) in
+  let schema =
+    match schema_no_overlap with
+    | None -> Array.make p None
+    | Some f -> Array.map (fun (_, pred) -> f pred) uniq
+  in
+  let matched = Array.make (max p 1) false in
+  let matched_list = Array.make (max p 1) 0 in
+  (* Pass 1 (equi-depth only): matched node sets, no grid needed yet. *)
+  let grid, match_arrays =
+    match grid_kind with
+    | `Uniform ->
+      (Grid.create ~size:grid_size ~max_pos:(Document.max_pos doc), None)
+    | `Equidepth ->
+      let acc = Array.make (max p 1) [] in
+      for v = 0 to n - 1 do
+        Predicate.dispatch_node disp doc v ~f:(fun u -> acc.(u) <- v :: acc.(u))
+      done;
+      let arrays = Array.map (fun l -> Array.of_list (List.rev l)) acc in
+      (* Quantile sample: starts and ends of the matched nodes, once per
+         occurrence in the original predicate list (duplicates count
+         twice, as in [summary_positions]); every node as fallback. *)
+      let total =
+        List.fold_left
+          (fun acc pred ->
+            acc + Array.length arrays.(Hashtbl.find uniq_index (Predicate.name pred)))
+          0 preds
+      in
+      let positions =
+        if total = 0 then
+          Array.init (2 * n) (fun k ->
+              if k land 1 = 0 then Document.start_pos doc (k / 2)
+              else Document.end_pos doc (k / 2))
+        else begin
+          let out = Array.make (2 * total) 0 in
+          let w = ref 0 in
+          List.iter
+            (fun pred ->
+              Array.iter
+                (fun v ->
+                  out.(!w) <- Document.start_pos doc v;
+                  out.(!w + 1) <- Document.end_pos doc v;
+                  w := !w + 2)
+                arrays.(Hashtbl.find uniq_index (Predicate.name pred)))
+            preds;
+          out
+        end
+      in
+      Array.sort Int.compare positions;
+      ( Grid.equidepth ~size:grid_size ~max_pos:(Document.max_pos doc)
+          ~positions,
+        Some arrays )
+  in
+  (* Per-predicate builders and sweep state. *)
+  let hist_b = Array.init p (fun _ -> Position_histogram.builder grid) in
+  let lvl_b =
+    if with_levels then Some (Array.init p (fun _ -> Level_histogram.builder ()))
+    else None
+  in
+  let cvg_b =
+    Array.init p (fun u ->
+        (* A schema override saying "overlaps" means the coverage histogram
+           can never be kept; skip its accumulation entirely. *)
+        match schema.(u) with
+        | Some false -> None
+        | Some true | None -> Some (Coverage_histogram.builder grid))
+  in
+  let streams = Array.init p (fun _ -> Interval_ops.stream doc) in
+  let counts = Array.make (max p 1) 0 in
+  let populations = Array.make (Grid.cells grid) 0.0 in
+  let pop_b = Position_histogram.builder grid in
+  let node_cell = Array.make n 0 in
+  (* The fill pass, shared by both grid kinds; [fill_matched] leaves the
+     indices of the predicates matching [v] in [matched_list.(0..k-1)]
+     (and sets their [matched] flags, cleared here after use). *)
+  let fill_pass fill_matched =
+    for v = 0 to n - 1 do
+      let idx =
+        let i, j =
+          Grid.cell_of_node grid ~start_pos:(Document.start_pos doc v)
+            ~end_pos:(Document.end_pos doc v)
+        in
+        Grid.index grid ~i ~j
+      in
+      node_cell.(v) <- idx;
+      populations.(idx) <- populations.(idx) +. 1.0;
+      Position_histogram.feed_cell pop_b idx;
+      let nmatched = fill_matched v in
+      for u = 0 to p - 1 do
+        let in_set = matched.(u) in
+        let nearest = Interval_ops.feed streams.(u) v ~in_set in
+        (match cvg_b.(u) with
+        | Some b when nearest >= 0 ->
+          Coverage_histogram.feed b ~covered:idx ~covering:node_cell.(nearest)
+        | Some _ | None -> ());
+        if in_set then begin
+          Position_histogram.feed_cell hist_b.(u) idx;
+          (match lvl_b with
+          | Some lb -> Level_histogram.feed lb.(u) (Document.level doc v)
+          | None -> ());
+          counts.(u) <- counts.(u) + 1
+        end
+      done;
+      for k = 0 to nmatched - 1 do
+        matched.(matched_list.(k)) <- false
+      done
+    done
+  in
+  (match match_arrays with
+  | None ->
+    fill_pass (fun v ->
+        let nmatched = ref 0 in
+        Predicate.dispatch_node disp doc v ~f:(fun u ->
+            matched.(u) <- true;
+            matched_list.(!nmatched) <- u;
+            incr nmatched);
+        !nmatched)
+  | Some arrays ->
+    (* Replay pass 1's matches through per-predicate cursors: the arrays
+       are in document order, so each head is compared against [v] once. *)
+    let cursor = Array.make (max p 1) 0 in
+    fill_pass (fun v ->
+        let nmatched = ref 0 in
+        for u = 0 to p - 1 do
+          let arr = arrays.(u) in
+          if cursor.(u) < Array.length arr && Int.equal arr.(cursor.(u)) v
+          then begin
+            cursor.(u) <- cursor.(u) + 1;
+            matched.(u) <- true;
+            matched_list.(!nmatched) <- u;
+            incr nmatched
+          end
+        done;
+        !nmatched));
+  let entries = Hashtbl.create 64 in
+  Array.iteri
+    (fun u (key, pred) ->
+      let no_overlap =
+        match schema.(u) with
+        | Some b -> b
+        | None -> not (Interval_ops.nesting_seen streams.(u))
+      in
+      let cvg =
+        match cvg_b.(u) with
+        | Some b when no_overlap && counts.(u) > 0 ->
+          Some (Coverage_histogram.finish b ~populations)
+        | Some _ | None -> None
+      in
+      let lvl =
+        match lvl_b with
+        | Some lb -> Some (Level_histogram.finish lb.(u))
+        | None -> None
+      in
+      Hashtbl.add entries key
+        { pred; hist = Position_histogram.finish hist_b.(u); no_overlap; cvg; lvl })
+    uniq;
+  let hcat = make_hist_catalog () in
+  register_entries hcat entries;
+  {
+    doc = Some doc;
+    grid;
+    preds;
+    entries;
+    pop = Position_histogram.finish pop_b;
+    with_levels;
+    hcat;
+    lph_cache = Hashtbl.create 8;
+    stats =
+      Some
+        {
+          path = `Fused;
+          passes = (match grid_kind with `Uniform -> 1 | `Equidepth -> 2);
+          predicate_evals = Predicate.dispatch_evals disp;
+          build_time = Sys.time () -. t0;
+        };
+  }
+
+let build = build_fused
+
+let stats t = t.stats
 
 let grid t = t.grid
 let document t = t.doc
@@ -449,6 +717,7 @@ let of_string input =
         with_levels = !with_levels;
         hcat;
         lph_cache = Hashtbl.create 8;
+        stats = None;
       }
   with Bad_summary msg -> Error msg
 

@@ -70,5 +70,6 @@ module Optimizer = Xmlest_optimizer.Optimizer
 
 (* Catalog *)
 module Summary = Summary
+module Construction_bench = Construction_bench
 module Advisor = Advisor
 module Repl = Repl

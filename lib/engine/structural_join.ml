@@ -41,7 +41,9 @@ let count_pairs ?(axis = `Descendant) doc ancs descs =
         total := !total + Stack.length stack)
   | `Child ->
     sweep doc ancs descs ~visit:(fun stack d ->
-        if (not (Stack.is_empty stack)) && Stack.top stack = Document.parent doc d
+        if
+          (not (Stack.is_empty stack))
+          && Int.equal (Stack.top stack) (Document.parent doc d)
         then incr total));
   !total
 
@@ -53,7 +55,9 @@ let pairs ?(axis = `Descendant) doc ancs descs =
         Stack.iter (fun a -> out := (a, d) :: !out) stack)
   | `Child ->
     sweep doc ancs descs ~visit:(fun stack d ->
-        if (not (Stack.is_empty stack)) && Stack.top stack = Document.parent doc d
+        if
+          (not (Stack.is_empty stack))
+          && Int.equal (Stack.top stack) (Document.parent doc d)
         then out := (Stack.top stack, d) :: !out));
   List.rev !out
 
@@ -67,7 +71,7 @@ let count_following doc before after =
   (* Sort the "before" end positions once; for each "after" node count the
      ends strictly below its start by binary search. *)
   let ends = Array.map (Document.end_pos doc) before in
-  Array.sort compare ends;
+  Array.sort Int.compare ends;
   let count_below pos =
     let lo = ref 0 and hi = ref (Array.length ends) in
     while !lo < !hi do

@@ -12,36 +12,27 @@ type t = {
 
 let grid t = t.grid
 
-let build doc ~grid pred =
-  let n = Document.size doc in
-  (* Nearest strict P-ancestor per node, computed top-down in pre-order. *)
-  let nearest = Array.make n (-1) in
-  for v = 0 to n - 1 do
-    let p = Document.parent doc v in
-    if p >= 0 then
-      nearest.(v) <- (if Predicate.eval pred doc p then p else nearest.(p))
-  done;
-  let cells = Grid.cells grid in
-  let populations = Array.make cells 0.0 in
-  let counts = Array.make cells [] in
-  let cell_of v =
-    let i, j =
-      Grid.cell_of_node grid ~start_pos:(Document.start_pos doc v)
-        ~end_pos:(Document.end_pos doc v)
-    in
-    Grid.index grid ~i ~j
-  in
-  for v = 0 to n - 1 do
-    let c = cell_of v in
-    populations.(c) <- populations.(c) +. 1.0;
-    if nearest.(v) >= 0 then begin
-      let anc_cell = cell_of nearest.(v) in
-      counts.(c) <-
-        (match counts.(c) with
-        | (m, k) :: rest when m = anc_cell -> (m, k +. 1.0) :: rest
-        | l -> (anc_cell, 1.0) :: l)
-    end
-  done;
+(* Streaming builder: per covered cell, a run-length list of
+   (covering cell, count) pairs, consecutive hits on the same covering
+   cell merged in place.  The legacy [build] and the fused summary sweep
+   both accumulate through [feed]/[finish], so they produce identical
+   structures for the same document-order feed sequence. *)
+type builder = {
+  b_grid : Grid.t;
+  b_counts : (int * float) list array;  (* covered cell -> run-length list *)
+}
+
+let builder grid = { b_grid = grid; b_counts = Array.make (Grid.cells grid) [] }
+
+let feed b ~covered ~covering =
+  b.b_counts.(covered) <-
+    (match b.b_counts.(covered) with
+    | (m, k) :: rest when Int.equal m covering -> (m, k +. 1.0) :: rest
+    | l -> (covering, 1.0) :: l)
+
+let finish b ~populations =
+  if Array.length populations <> Grid.cells b.b_grid then
+    invalid_arg "Coverage_histogram.finish: population array length mismatch";
   let covers =
     Array.mapi
       (fun c lst ->
@@ -56,12 +47,37 @@ let build doc ~grid pred =
         let pop = populations.(c) in
         Hashtbl.fold (fun m k acc -> (m, k /. pop) :: acc) tbl []
         |> List.sort compare |> Array.of_list)
-      counts
+      b.b_counts
   in
   let total_cvg =
     Array.map (fun arr -> Array.fold_left (fun acc (_, f) -> acc +. f) 0.0 arr) covers
   in
-  { grid; covers; populations; total_cvg }
+  { grid = b.b_grid; covers; populations = Array.copy populations; total_cvg }
+
+let build doc ~grid pred =
+  let n = Document.size doc in
+  (* Nearest strict P-ancestor per node, computed top-down in pre-order. *)
+  let nearest = Array.make n (-1) in
+  for v = 0 to n - 1 do
+    let p = Document.parent doc v in
+    if p >= 0 then
+      nearest.(v) <- (if Predicate.eval pred doc p then p else nearest.(p))
+  done;
+  let populations = Array.make (Grid.cells grid) 0.0 in
+  let b = builder grid in
+  let cell_of v =
+    let i, j =
+      Grid.cell_of_node grid ~start_pos:(Document.start_pos doc v)
+        ~end_pos:(Document.end_pos doc v)
+    in
+    Grid.index grid ~i ~j
+  in
+  for v = 0 to n - 1 do
+    let c = cell_of v in
+    populations.(c) <- populations.(c) +. 1.0;
+    if nearest.(v) >= 0 then feed b ~covered:c ~covering:(cell_of nearest.(v))
+  done;
+  finish b ~populations
 
 let coverage t ~i ~j ~m ~n =
   let c = Grid.index t.grid ~i ~j in

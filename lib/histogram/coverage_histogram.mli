@@ -24,6 +24,27 @@ val build : Document.t -> grid:Grid.t -> Predicate.t -> t
 
 val grid : t -> Grid.t
 
+(** {2 Streaming construction}
+
+    The accumulation behind {!build}, exposed so that one shared document
+    sweep (the fused summary construction) can drive many coverage
+    builders at once.  Feed, in document order, every node that has a
+    nearest strict P-ancestor; {!build} itself is implemented on these, so
+    an identical feed sequence yields a bit-identical histogram. *)
+
+type builder
+
+val builder : Grid.t -> builder
+
+val feed : builder -> covered:int -> covering:int -> unit
+(** Record one node in dense cell [covered] whose nearest strict
+    P-ancestor lies in dense cell [covering]. *)
+
+val finish : builder -> populations:float array -> t
+(** Freeze, normalizing counts by the per-cell population (the TRUE
+    histogram counts, dense).  Raises [Invalid_argument] on a population
+    array of the wrong length. *)
+
 val coverage : t -> i:int -> j:int -> m:int -> n:int -> float
 (** Fraction of cell [(i, j)]'s population covered by P-nodes in cell
     [(m, n)]. *)

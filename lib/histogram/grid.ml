@@ -31,7 +31,7 @@ let equidepth ~size ~max_pos ~positions =
      boundaries. *)
   let positions =
     let sorted = Array.copy positions in
-    Array.sort compare sorted;
+    Array.sort Int.compare sorted;
     sorted
   in
   let n = Array.length positions in

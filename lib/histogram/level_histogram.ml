@@ -3,18 +3,35 @@ open Xmlest_query
 
 type t = { counts : float array }
 
-let build doc pred =
-  let nodes = Predicate.matching_nodes doc pred in
-  let max_level =
-    Array.fold_left (fun acc v -> max acc (Document.level doc v)) 0 nodes
-  in
-  let counts = Array.make (max_level + 1) 0.0 in
-  Array.iter
-    (fun v ->
-      let l = Document.level doc v in
-      counts.(l) <- counts.(l) +. 1.0)
-    nodes;
-  { counts }
+(* Streaming builder: counts arrive level by level with no bound known up
+   front, so the array grows geometrically and [finish] trims it to
+   [max fed level + 1] (one zero entry for an empty set, mirroring
+   [build] on an empty node set). *)
+type builder = { mutable b_counts : float array; mutable b_max : int }
+
+let builder () = { b_counts = Array.make 8 0.0; b_max = -1 }
+
+let feed b l =
+  if l >= Array.length b.b_counts then begin
+    let n = ref (2 * Array.length b.b_counts) in
+    while l >= !n do
+      n := 2 * !n
+    done;
+    let bigger = Array.make !n 0.0 in
+    Array.blit b.b_counts 0 bigger 0 (Array.length b.b_counts);
+    b.b_counts <- bigger
+  end;
+  b.b_counts.(l) <- b.b_counts.(l) +. 1.0;
+  if l > b.b_max then b.b_max <- l
+
+let finish b = { counts = Array.sub b.b_counts 0 (max 1 (b.b_max + 1)) }
+
+let of_levels doc nodes =
+  let b = builder () in
+  Array.iter (fun v -> feed b (Document.level doc v)) nodes;
+  finish b
+
+let build doc pred = of_levels doc (Predicate.matching_nodes doc pred)
 
 let count_at t l = if l >= 0 && l < Array.length t.counts then t.counts.(l) else 0.0
 

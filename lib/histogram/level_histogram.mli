@@ -13,6 +13,23 @@ type t
 
 val build : Document.t -> Predicate.t -> t
 
+val of_levels : Document.t -> Document.node array -> t
+(** Histogram of an explicit node set (no predicate re-evaluation). *)
+
+(** {2 Streaming construction} *)
+
+type builder
+
+val builder : unit -> builder
+
+val feed : builder -> int -> unit
+(** Count one node at the given depth; the internal array grows on
+    demand. *)
+
+val finish : builder -> t
+(** Freeze: counts for levels [0 .. max fed level] ([\[|0.0|\]] when
+    nothing was fed, matching {!build} on an empty node set). *)
+
 val count_at : t -> int -> float
 (** Number of P-nodes at the given depth. *)
 

@@ -50,29 +50,48 @@ let add t ~i ~j v =
 
 let total t = t.total
 
+(* Streaming builder: unit-count increments without the per-call cell
+   validation and version bump of [add].  Cells arriving from
+   [Grid.cell_of_node] are always in the upper triangle (start < end and
+   bucketization is monotone), so the checks are redundant on this path.
+   The total is summed once at [finish]; since every count is an integer
+   (well below 2^53), the fold equals the incremental sum of [add]
+   bit-for-bit. *)
+type builder = { b_grid : Grid.t; b_counts : float array }
+
+let builder grid = { b_grid = grid; b_counts = Array.make (Grid.cells grid) 0.0 }
+
+let feed_cell b idx = b.b_counts.(idx) <- b.b_counts.(idx) +. 1.0
+
+let feed b ~start_pos ~end_pos =
+  let i, j = Grid.cell_of_node b.b_grid ~start_pos ~end_pos in
+  feed_cell b (Grid.index b.b_grid ~i ~j)
+
+let finish b =
+  {
+    grid = b.b_grid;
+    counts = b.b_counts;
+    total = Array.fold_left ( +. ) 0.0 b.b_counts;
+    version = 0;
+  }
+
 let of_nodes doc ~grid nodes =
-  let t = create_empty grid in
+  let b = builder grid in
   Array.iter
     (fun v ->
-      let i, j =
-        Grid.cell_of_node grid ~start_pos:(Document.start_pos doc v)
-          ~end_pos:(Document.end_pos doc v)
-      in
-      add t ~i ~j 1.0)
+      feed b ~start_pos:(Document.start_pos doc v)
+        ~end_pos:(Document.end_pos doc v))
     nodes;
-  t
+  finish b
 
 let build doc ~grid pred = of_nodes doc ~grid (Predicate.matching_nodes doc pred)
 
 let population doc ~grid =
-  let t = create_empty grid in
+  let b = builder grid in
   Document.iter doc (fun v ->
-      let i, j =
-        Grid.cell_of_node grid ~start_pos:(Document.start_pos doc v)
-          ~end_pos:(Document.end_pos doc v)
-      in
-      add t ~i ~j 1.0);
-  t
+      feed b ~start_pos:(Document.start_pos doc v)
+        ~end_pos:(Document.end_pos doc v));
+  finish b
 
 let copy t =
   { grid = t.grid; counts = Array.copy t.counts; total = t.total; version = 0 }

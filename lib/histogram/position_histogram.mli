@@ -26,6 +26,31 @@ val population : Document.t -> grid:Grid.t -> t
 
 val create_empty : Grid.t -> t
 
+(** {2 Streaming construction}
+
+    The per-node feed used by the fused summary sweep: one shared document
+    traversal drives many builders at once.  [feed]/[feed_cell] add a unit
+    count without the per-call validation and version bump of {!add}
+    (cells computed by {!Grid.cell_of_node} are always valid);
+    [finish] totals the counts — bit-identical to the same sequence of
+    {!add} calls, since unit counts are exact integers. *)
+
+type builder
+
+val builder : Grid.t -> builder
+
+val feed : builder -> start_pos:int -> end_pos:int -> unit
+(** Count one node by its interval endpoints. *)
+
+val feed_cell : builder -> int -> unit
+(** Count one node whose dense cell index ({!Grid.index}) is already
+    known — the fused sweep computes each node's cell once and feeds every
+    predicate histogram from it. *)
+
+val finish : builder -> t
+(** Freeze into a histogram (version 0).  The builder must not be fed
+    afterwards. *)
+
 val grid : t -> Grid.t
 val get : t -> i:int -> j:int -> float
 

@@ -21,13 +21,48 @@ let ends_with ~suffix s =
   let ls = String.length s and lx = String.length suffix in
   ls >= lx && String.sub s (ls - lx) lx = suffix
 
-let contains ~sub s =
-  let ls = String.length s and lx = String.length sub in
-  if lx = 0 then true
-  else begin
-    let rec go i = i + lx <= ls && (String.sub s i lx = sub || go (i + 1)) in
-    go 0
-  end
+(* Substring search with a precomputed KMP failure table: O(m) to build,
+   O(n) per match, no per-offset String.sub allocation.  Compiled
+   predicates build the table once and reuse it for every node. *)
+module Substring = struct
+  type t = { pattern : string; failure : int array }
+
+  let make pattern =
+    let m = String.length pattern in
+    let failure = Array.make (max m 1) 0 in
+    let k = ref 0 in
+    for i = 1 to m - 1 do
+      while !k > 0 && pattern.[!k] <> pattern.[i] do
+        k := failure.(!k - 1)
+      done;
+      if pattern.[!k] = pattern.[i] then incr k;
+      failure.(i) <- !k
+    done;
+    { pattern; failure }
+
+  let pattern t = t.pattern
+
+  let matches t s =
+    let m = String.length t.pattern in
+    if m = 0 then true
+    else begin
+      let n = String.length s in
+      let k = ref 0 in
+      let i = ref 0 in
+      let found = ref false in
+      while (not !found) && !i < n do
+        while !k > 0 && t.pattern.[!k] <> s.[!i] do
+          k := t.failure.(!k - 1)
+        done;
+        if t.pattern.[!k] = s.[!i] then incr k;
+        if !k = m then found := true;
+        incr i
+      done;
+      !found
+    end
+end
+
+let contains ~sub s = Substring.matches (Substring.make sub) s
 
 let rec eval p doc v =
   match p with
@@ -70,6 +105,99 @@ let matching_nodes doc p =
       Array.of_list !out)
 
 let count doc p = Array.length (matching_nodes doc p)
+
+(* --- Compilation ------------------------------------------------------ *)
+
+type compiled = Document.node -> bool
+
+(* Lower the AST once per (document, predicate) pair: tag comparisons
+   become integer comparisons over the document's interned ids (constant
+   [false] when the tag does not occur at all), substring patterns get
+   their KMP table built once, and boolean structure becomes closure
+   composition — the per-node work never touches the AST again. *)
+let compile doc p =
+  let rec go p =
+    match p with
+    | True -> fun _ -> true
+    | Tag t -> (
+      match Document.lookup_tag_id doc t with
+      | Some id -> fun v -> Int.equal (Document.tag_id doc v) id
+      | None -> fun _ -> false)
+    | Text_eq s -> fun v -> String.equal (Document.text doc v) s
+    | Text_prefix s -> fun v -> starts_with ~prefix:s (Document.text doc v)
+    | Text_suffix s -> fun v -> ends_with ~suffix:s (Document.text doc v)
+    | Text_contains s ->
+      let m = Substring.make s in
+      fun v -> Substring.matches m (Document.text doc v)
+    | Attr_eq (k, value) -> (
+      fun v ->
+        match List.assoc_opt k (Document.attrs doc v) with
+        | Some x -> String.equal x value
+        | None -> false)
+    | Level_eq l -> fun v -> Int.equal (Document.level doc v) l
+    | And (a, b) ->
+      let fa = go a and fb = go b in
+      fun v -> fa v && fb v
+    | Or (a, b) ->
+      let fa = go a and fb = go b in
+      fun v -> fa v || fb v
+    | Not a ->
+      let fa = go a in
+      fun v -> not (fa v)
+  in
+  go p
+
+let compiled_eval c v = c v
+
+let target doc p =
+  match tag_of p with
+  | None -> `Any
+  | Some t -> (
+    match Document.lookup_tag_id doc t with
+    | Some id -> `Tag id
+    | None -> `Nothing)
+
+(* --- Dispatch table --------------------------------------------------- *)
+
+type dispatch = {
+  compiled : compiled array;
+  per_tag : int array array;  (* tag id -> indices of predicates pinned to it *)
+  unpinned : int array;  (* indices of predicates with no pinned tag *)
+  mutable evals : int;
+}
+
+let dispatch doc preds =
+  let preds = Array.of_list preds in
+  let per_tag = Array.make (Document.num_tags doc) [] in
+  let unpinned = ref [] in
+  Array.iteri
+    (fun k p ->
+      match target doc p with
+      | `Tag id -> per_tag.(id) <- k :: per_tag.(id)
+      | `Any -> unpinned := k :: !unpinned
+      | `Nothing -> ())
+    preds;
+  {
+    compiled = Array.map (compile doc) preds;
+    per_tag = Array.map (fun l -> Array.of_list (List.rev l)) per_tag;
+    unpinned = Array.of_list (List.rev !unpinned);
+    evals = 0;
+  }
+
+let dispatch_node d doc v ~f =
+  let run k =
+    d.evals <- d.evals + 1;
+    if d.compiled.(k) v then f k
+  in
+  let pinned = d.per_tag.(Document.tag_id doc v) in
+  for idx = 0 to Array.length pinned - 1 do
+    run pinned.(idx)
+  done;
+  for idx = 0 to Array.length d.unpinned - 1 do
+    run d.unpinned.(idx)
+  done
+
+let dispatch_evals d = d.evals
 
 let rec name = function
   | True -> "true"

@@ -48,6 +48,67 @@ val equal : t -> t -> bool
 val compare : t -> t -> int
 val pp : Format.formatter -> t -> unit
 
+(** {2 Compilation}
+
+    [compile] lowers the predicate AST once per document into a closure:
+    tag comparisons become integer comparisons over the document's interned
+    tag ids (constant [false] for tags absent from the document), substring
+    patterns precompute their KMP failure table, and boolean structure is
+    composed into the closure — per-node evaluation never re-walks the AST.
+    [compile p] agrees with [eval p] on every node (property-tested). *)
+
+type compiled = Document.node -> bool
+
+val compile : Document.t -> t -> compiled
+val compiled_eval : compiled -> Document.node -> bool
+
+val target : Document.t -> t -> [ `Any | `Tag of int | `Nothing ]
+(** Where the predicate can match: [`Tag id] when it pins an element tag
+    that occurs in the document (the interned id), [`Nothing] when the
+    pinned tag does not occur at all, [`Any] otherwise. *)
+
+(** {2 Dispatch table}
+
+    A batch of compiled predicates bucketed by pinned tag id: during a
+    document sweep each node only evaluates the predicates pinned to its
+    tag, plus the unpinned ones — predicates pinned to other tags cost
+    nothing.  This is the inner loop of the fused summary construction. *)
+
+type dispatch
+
+val dispatch : Document.t -> t list -> dispatch
+(** Compile the predicates and bucket them by {!target}.  Predicates with
+    target [`Nothing] are never evaluated (they match no node). *)
+
+val dispatch_node :
+  dispatch -> Document.t -> Document.node -> f:(int -> unit) -> unit
+(** Evaluate the relevant predicates on one node, calling [f] with the
+    list index (into the [dispatch] input list) of every predicate that
+    matches.  Indices are reported in bucket order: pinned predicates in
+    input order, then unpinned ones in input order. *)
+
+val dispatch_evals : dispatch -> int
+(** Total compiled-predicate evaluations performed by {!dispatch_node}
+    since the table was built — the fused build's eval counter. *)
+
+(** {2 Substring matching}
+
+    KMP substring search with a precomputed failure table — the matcher
+    behind [Text_contains], built once per compiled predicate. *)
+
+module Substring : sig
+  type t
+
+  val make : string -> t
+  (** Precompute the failure table for a pattern ([O(pattern)]). *)
+
+  val matches : t -> string -> bool
+  (** [matches (make sub) s] iff [sub] occurs in [s]; the empty pattern
+      matches everything.  [O(s)] per call. *)
+
+  val pattern : t -> string
+end
+
 (** {2 Serialization}
 
     A small s-expression syntax, used by the summary persistence layer:

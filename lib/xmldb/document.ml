@@ -154,6 +154,10 @@ let distinct_tags t =
 
 let lookup_tag_id t tag = Hashtbl.find_opt t.tag_table tag
 
+let num_tags t = Array.length t.tag_names
+let tag_name t id = t.tag_names.(id)
+let nodes_with_tag_id t id = t.by_tag.(id)
+
 let nodes_with_tag t tag =
   match lookup_tag_id t tag with
   | Some id -> t.by_tag.(id)

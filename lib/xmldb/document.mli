@@ -91,3 +91,14 @@ val tag_count : t -> string -> int
 
 val lookup_tag_id : t -> string -> int option
 (** Intern lookup; [None] if the tag does not occur. *)
+
+val num_tags : t -> int
+(** Number of distinct interned tags; valid tag ids are
+    [0 .. num_tags - 1]. *)
+
+val tag_name : t -> int -> string
+(** Inverse of the intern table: the tag string for an id. *)
+
+val nodes_with_tag_id : t -> int -> node array
+(** Tag-id-keyed node index: nodes carrying the interned tag, in document
+    order.  The returned array is shared with the store — do not mutate. *)

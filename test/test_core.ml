@@ -389,6 +389,145 @@ let test_advisor_textless_tags () =
        (fun p -> match p with Xmlest.Predicate.Tag _ -> true | _ -> false)
        preds)
 
+(* --- Fused vs legacy construction ----------------------------------------- *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let summaries_identical a b =
+  String.equal (Xmlest.Summary.to_string a) (Xmlest.Summary.to_string b)
+
+let prop_fused_equals_legacy =
+  QCheck.Test.make ~count:80
+    ~name:"fused build = legacy build (bit-identical, random docs)"
+    QCheck.(pair (Test_util.elem_arbitrary ~max_nodes:50 ()) (int_bound 7))
+    (fun (elem, cfg) ->
+      let doc = Xmlest.Document.of_elem elem in
+      let grid_size = min 8 (Xmlest.Document.max_pos doc + 1) in
+      let grid_kind = if cfg land 1 = 0 then `Uniform else `Equidepth in
+      let with_levels = cfg land 2 = 0 in
+      let schema_no_overlap p =
+        if cfg land 4 = 0 then None
+        else if Xmlest.Predicate.equal p (tagp "a") then Some false
+        else None
+      in
+      let preds =
+        [
+          tagp "a";
+          tagp "b";
+          Xmlest.Predicate.Or (tagp "c", tagp "d");
+          Xmlest.Predicate.And (tagp "a", Xmlest.Predicate.Level_eq 1);
+          tagp "a";
+          (* duplicate: both paths must dedup identically *)
+          tagp "nosuchtag";
+        ]
+      in
+      summaries_identical
+        (Xmlest.Summary.build ~grid_size ~grid_kind ~schema_no_overlap
+           ~with_levels doc preds)
+        (Xmlest.Summary.build_legacy ~grid_size ~grid_kind ~schema_no_overlap
+           ~with_levels doc preds))
+
+let test_fused_equals_legacy_datasets () =
+  let cases =
+    [
+      ("fig1", Test_util.fig1 (), [ tagp "faculty"; tagp "RA"; tagp "TA" ]);
+      ( "staff",
+        Xmlest.Staff_gen.generate (),
+        [ tagp "manager"; tagp "employee"; tagp "name" ] );
+      ( "dblp",
+        Xmlest.Dblp_gen.generate_scaled 0.05,
+        [
+          tagp "article";
+          tagp "author";
+          Xmlest.Predicate.text_prefix ~tag:"cite" "conf";
+          Xmlest.Predicate.any_of
+            (List.init 10 (fun k ->
+                 Xmlest.Predicate.text_eq ~tag:"year" (string_of_int (1990 + k))));
+        ] );
+    ]
+  in
+  List.iter
+    (fun (name, elem, preds) ->
+      let doc = Xmlest.Document.of_elem elem in
+      List.iter
+        (fun grid_kind ->
+          let fused = Xmlest.Summary.build ~grid_kind doc preds in
+          let legacy = Xmlest.Summary.build_legacy ~grid_kind doc preds in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s %s" name
+               (match grid_kind with `Uniform -> "uniform" | _ -> "equidepth"))
+            true
+            (summaries_identical fused legacy))
+        [ `Uniform; `Equidepth ])
+    cases
+
+let test_build_stats () =
+  let doc = Test_util.fig1_doc () in
+  let preds = [ tagp "faculty"; tagp "RA" ] in
+  let get s =
+    match Xmlest.Summary.stats s with
+    | Some st -> st
+    | None -> Alcotest.fail "built summary should carry stats"
+  in
+  let fused = get (Xmlest.Summary.build ~grid_size:4 doc preds) in
+  Alcotest.(check bool) "fused path" true (fused.Xmlest.Summary.path = `Fused);
+  check Alcotest.int "fused uniform: one pass" 1 fused.Xmlest.Summary.passes;
+  Alcotest.(check bool) "fused evals counted" true
+    (fused.Xmlest.Summary.predicate_evals > 0);
+  Alcotest.(check bool) "time non-negative" true
+    (fused.Xmlest.Summary.build_time >= 0.0);
+  let eq = get (Xmlest.Summary.build ~grid_size:4 ~grid_kind:`Equidepth doc preds) in
+  check Alcotest.int "fused equidepth: two passes" 2 eq.Xmlest.Summary.passes;
+  let legacy = get (Xmlest.Summary.build_legacy ~grid_size:4 doc preds) in
+  Alcotest.(check bool) "legacy path" true
+    (legacy.Xmlest.Summary.path = `Legacy);
+  Alcotest.(check bool) "legacy needs more passes" true
+    (legacy.Xmlest.Summary.passes > fused.Xmlest.Summary.passes);
+  Alcotest.(check bool) "legacy needs more evals" true
+    (legacy.Xmlest.Summary.predicate_evals
+    > fused.Xmlest.Summary.predicate_evals);
+  (* stats are construction counters, not part of the persisted summary *)
+  let s = Xmlest.Summary.build ~grid_size:4 doc preds in
+  match Xmlest.Summary.of_string (Xmlest.Summary.to_string s) with
+  | Ok loaded ->
+    Alcotest.(check bool) "loaded summary has no stats" true
+      (Xmlest.Summary.stats loaded = None)
+  | Error e -> Alcotest.fail e
+
+let test_construction_bench_smoke () =
+  let doc = Test_util.fig1_doc () in
+  let preds = [ tagp "faculty"; tagp "RA" ] in
+  let r =
+    Xmlest.Construction_bench.run ~grid_size:4 ~dataset:"fig1" doc preds
+  in
+  Alcotest.(check bool) "bit-identical" true r.Xmlest.Construction_bench.identical;
+  check Alcotest.int "fused passes" 1 r.Xmlest.Construction_bench.fused_passes;
+  check Alcotest.int "predicate count" 2 r.Xmlest.Construction_bench.predicates;
+  Alcotest.(check bool) "rejects bad repeats" true
+    (try
+       ignore
+         (Xmlest.Construction_bench.run ~repeats:0 ~dataset:"x" doc preds);
+       false
+     with Invalid_argument _ -> true);
+  let path = Filename.temp_file "xmlest_construction" ".json" in
+  Xmlest.Construction_bench.write_json path [ r ];
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let json = really_input_string ic len in
+  close_in ic;
+  Sys.remove path;
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) ("json has " ^ key) true
+        (Test_util.contains_substring json key))
+    [
+      "\"dataset\": \"fig1\"";
+      "\"identical\": true";
+      "\"fused_passes\": 1";
+      "\"grid_kind\": \"uniform\"";
+      "\"speedup\"";
+    ]
+
 (* --- Repl ----------------------------------------------------------------- *)
 
 let contains sub s =
@@ -496,6 +635,14 @@ let () =
           Alcotest.test_case "grid size respected" `Quick test_grid_size_respected;
           Alcotest.test_case "equi-depth summary" `Quick test_equidepth_summary;
           Alcotest.test_case "pp_stats renders" `Quick test_pp_stats_renders;
+        ] );
+      ( "construction",
+        [
+          qcheck prop_fused_equals_legacy;
+          Alcotest.test_case "fused = legacy on datasets" `Quick
+            test_fused_equals_legacy_datasets;
+          Alcotest.test_case "build stats" `Quick test_build_stats;
+          Alcotest.test_case "bench smoke" `Quick test_construction_bench_smoke;
         ] );
       ( "persistence",
         [

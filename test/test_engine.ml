@@ -415,6 +415,25 @@ let test_axis_empty_context () =
         (Xmlest.Axis_eval.step doc [] axis Xmlest.Predicate.True))
     all_axes
 
+let prop_count_following_matches_brute_force =
+  QCheck.Test.make ~count:150 ~name:"count_following = brute force"
+    (Test_util.doc_two_tags_arbitrary ~max_nodes:40 ())
+    (fun (_, doc, t1, t2) ->
+      let before = Xmlest.Document.nodes_with_tag doc t1 in
+      let after = Xmlest.Document.nodes_with_tag doc t2 in
+      let brute =
+        Array.fold_left
+          (fun acc b ->
+            Array.fold_left
+              (fun acc a ->
+                if Xmlest.Document.end_pos doc b < Xmlest.Document.start_pos doc a
+                then acc + 1
+                else acc)
+              acc after)
+          0 before
+      in
+      Xmlest.Structural_join.count_following doc before after = brute)
+
 let () =
   Alcotest.run "engine"
     [
@@ -428,6 +447,7 @@ let () =
           Alcotest.test_case "matching descendants" `Quick test_matching_descendants;
           qcheck prop_join_equals_brute_force;
           qcheck prop_join_child_equals_brute_force;
+          qcheck prop_count_following_matches_brute_force;
           qcheck prop_join_equals_nested_loop;
           qcheck prop_self_join_counts_nesting;
         ] );

@@ -622,6 +622,107 @@ let test_catalog_absorb () =
   ignore (Xmlest.Hist_catalog.descendant_coefficients cat "differs");
   check Alcotest.int "mismatched key recomputes" 1 !calls
 
+(* --- Streaming builders ------------------------------------------------- *)
+
+let prop_position_builder_equals_build =
+  QCheck.Test.make ~count:100 ~name:"position builder = build"
+    (Test_util.doc_two_tags_arbitrary ~max_nodes:50 ())
+    (fun (_, doc, t1, _) ->
+      let grid =
+        Xmlest.Grid.create
+          ~size:(min 4 (Xmlest.Document.max_pos doc + 1))
+          ~max_pos:(Xmlest.Document.max_pos doc)
+      in
+      let pred = Xmlest.Predicate.tag t1 in
+      let reference = Xmlest.Position_histogram.build doc ~grid pred in
+      let b = Xmlest.Position_histogram.builder grid in
+      Array.iter
+        (fun v ->
+          Xmlest.Position_histogram.feed b
+            ~start_pos:(Xmlest.Document.start_pos doc v)
+            ~end_pos:(Xmlest.Document.end_pos doc v))
+        (Xmlest.Document.nodes_with_tag doc t1);
+      Xmlest.Position_histogram.equal (Xmlest.Position_histogram.finish b)
+        reference)
+
+let test_level_builder () =
+  let empty = Xmlest.Level_histogram.finish (Xmlest.Level_histogram.builder ()) in
+  check (Alcotest.float 1e-9) "empty total" 0.0
+    (Xmlest.Level_histogram.total empty);
+  check Alcotest.int "empty max level" 0 (Xmlest.Level_histogram.max_level empty);
+  check Alcotest.(list (float 1e-9)) "empty counts" [ 0.0 ]
+    (Array.to_list (Xmlest.Level_histogram.counts empty));
+  let doc = Test_util.fig1_doc () in
+  let pred = Xmlest.Predicate.tag "RA" in
+  let b = Xmlest.Level_histogram.builder () in
+  Array.iter
+    (fun v -> Xmlest.Level_histogram.feed b (Xmlest.Document.level doc v))
+    (Xmlest.Predicate.matching_nodes doc pred);
+  let built = Xmlest.Level_histogram.finish b in
+  let reference = Xmlest.Level_histogram.build doc pred in
+  check Alcotest.(list (float 1e-9)) "builder = build"
+    (Array.to_list (Xmlest.Level_histogram.counts reference))
+    (Array.to_list (Xmlest.Level_histogram.counts built));
+  check Alcotest.(list (float 1e-9)) "of_levels = build"
+    (Array.to_list (Xmlest.Level_histogram.counts reference))
+    (Array.to_list
+       (Xmlest.Level_histogram.counts
+          (Xmlest.Level_histogram.of_levels doc
+             (Xmlest.Predicate.matching_nodes doc pred))))
+
+let prop_coverage_builder_equals_build =
+  QCheck.Test.make ~count:100 ~name:"coverage builder = build"
+    (Test_util.doc_two_tags_arbitrary ~max_nodes:50 ())
+    (fun (_, doc, t1, _) ->
+      let grid =
+        Xmlest.Grid.create
+          ~size:(min 4 (Xmlest.Document.max_pos doc + 1))
+          ~max_pos:(Xmlest.Document.max_pos doc)
+      in
+      let pred = Xmlest.Predicate.tag t1 in
+      let reference = Xmlest.Coverage_histogram.build doc ~grid pred in
+      (* drive the builder by hand: parent-chain nearest P-ancestor plus
+         per-cell populations, exactly the feed sequence of build *)
+      let n = Xmlest.Document.size doc in
+      let cell v =
+        Xmlest.Grid.index grid
+          ~i:(Xmlest.Grid.bucket grid (Xmlest.Document.start_pos doc v))
+          ~j:(Xmlest.Grid.bucket grid (Xmlest.Document.end_pos doc v))
+      in
+      let nearest = Array.make n (-1) in
+      let populations = Array.make (Xmlest.Grid.cells grid) 0.0 in
+      let b = Xmlest.Coverage_histogram.builder grid in
+      for v = 0 to n - 1 do
+        populations.(cell v) <- populations.(cell v) +. 1.0;
+        let p = Xmlest.Document.parent doc v in
+        if p >= 0 then
+          nearest.(v) <-
+            (if Xmlest.Predicate.eval pred doc p then p else nearest.(p));
+        if nearest.(v) >= 0 then
+          Xmlest.Coverage_histogram.feed b ~covered:(cell v)
+            ~covering:(cell nearest.(v))
+      done;
+      let built = Xmlest.Coverage_histogram.finish b ~populations in
+      let entries h =
+        Xmlest.Coverage_histogram.fold_entries h ~init:[]
+          ~f:(fun acc ~covered ~covering frac -> (covered, covering, frac) :: acc)
+      in
+      List.sort Stdlib.compare (entries built)
+      = List.sort Stdlib.compare (entries reference)
+      && Array.to_list (Xmlest.Coverage_histogram.populations built)
+         = Array.to_list (Xmlest.Coverage_histogram.populations reference))
+
+let test_equidepth_duplicate_positions () =
+  (* regression for the Int.compare sort: duplicates and reverse order must
+     yield the same boundaries as the sorted input *)
+  let sorted = [| 0; 0; 3; 3; 3; 7; 9; 9; 12; 15 |] in
+  let shuffled = [| 15; 3; 9; 0; 12; 3; 7; 0; 9; 3 |] in
+  let g1 = Xmlest.Grid.equidepth ~size:4 ~max_pos:15 ~positions:sorted in
+  let g2 = Xmlest.Grid.equidepth ~size:4 ~max_pos:15 ~positions:shuffled in
+  check Alcotest.(list int) "same boundaries"
+    (Array.to_list g1.Xmlest.Grid.boundaries)
+    (Array.to_list g2.Xmlest.Grid.boundaries)
+
 (* --- Level histogram -------------------------------------------------------- *)
 
 let test_level_histogram () =
@@ -670,6 +771,8 @@ let () =
             test_equidepth_balances_population;
           Alcotest.test_case "equidepth degenerate inputs" `Quick
             test_equidepth_degenerate;
+          Alcotest.test_case "equidepth duplicate positions" `Quick
+            test_equidepth_duplicate_positions;
           Alcotest.test_case "histogram on equidepth grid" `Quick
             test_histogram_on_equidepth_grid;
           qcheck prop_equidepth_bucket_consistent;
@@ -717,6 +820,12 @@ let () =
           Alcotest.test_case "storage accounting" `Quick
             test_coverage_storage_accounting;
           qcheck prop_coverage_bounded;
+        ] );
+      ( "builders",
+        [
+          qcheck prop_position_builder_equals_build;
+          Alcotest.test_case "level builder" `Quick test_level_builder;
+          qcheck prop_coverage_builder_equals_build;
         ] );
       ( "level",
         [

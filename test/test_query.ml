@@ -154,6 +154,171 @@ let prop_pred_syntax_roundtrip =
       | Ok q -> Xmlest.Predicate.equal p q
       | Error _ -> false)
 
+(* --- Substring (KMP) ---------------------------------------------------- *)
+
+let test_substring_edge_cases () =
+  let open Xmlest.Predicate in
+  let has sub s = Substring.matches (Substring.make sub) s in
+  Alcotest.(check bool) "empty pattern, empty string" true (has "" "");
+  Alcotest.(check bool) "empty pattern" true (has "" "abc");
+  Alcotest.(check bool) "empty string, non-empty pattern" false (has "a" "");
+  Alcotest.(check bool) "pattern longer than string" false (has "abcd" "abc");
+  Alcotest.(check bool) "overlapping occurrences" true (has "aa" "aaa");
+  Alcotest.(check bool) "periodic pattern" true (has "abab" "aabababb");
+  Alcotest.(check bool) "whole string" true (has "abc" "abc");
+  Alcotest.(check bool) "match at end" true (has "cde" "abcde");
+  Alcotest.(check bool)
+    "near miss with repeated prefix" false (has "aab" "aaacaaac");
+  check Alcotest.string "pattern accessor" "xy"
+    (Substring.pattern (Substring.make "xy"))
+
+let prop_substring_matches_naive =
+  QCheck.Test.make ~count:500 ~name:"KMP agrees with naive substring search"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Xmlest.Splitmix.create seed in
+      (* small alphabet so matches and near-misses are common *)
+      let random_string n =
+        String.init
+          (Xmlest.Splitmix.int rng (n + 1))
+          (fun _ -> Char.chr (Char.code 'a' + Xmlest.Splitmix.int rng 3))
+      in
+      let hay = random_string 16 and needle = random_string 5 in
+      Xmlest.Predicate.Substring.matches
+        (Xmlest.Predicate.Substring.make needle)
+        hay
+      = Test_util.contains_substring hay needle)
+
+(* --- Compilation and dispatch ------------------------------------------- *)
+
+let test_compile_on_sample () =
+  let doc = sample () in
+  let open Xmlest.Predicate in
+  let cases =
+    [
+      True;
+      Tag "book";
+      Tag "zzz";
+      Text_eq "Trees";
+      Text_prefix "conf";
+      Text_suffix "/3";
+      Text_contains "Query";
+      Text_contains "";
+      Attr_eq ("year", "2001");
+      Attr_eq ("year", "1900");
+      Level_eq 1;
+      And (Tag "cite", Text_prefix "conf");
+      Or (Tag "book", Tag "paper");
+      Not (Tag "cite");
+      text_eq ~tag:"title" "Trees";
+      any_of [ Tag "book"; Tag "paper"; Tag "zzz" ];
+    ]
+  in
+  List.iter
+    (fun p ->
+      let c = compile doc p in
+      for v = 0 to Xmlest.Document.size doc - 1 do
+        Alcotest.(check bool)
+          (name p ^ " @ node " ^ string_of_int v)
+          (eval p doc v) (compiled_eval c v)
+      done)
+    cases
+
+let prop_compile_equals_eval =
+  QCheck.Test.make ~count:300 ~name:"compile = eval (random docs, predicates)"
+    QCheck.(pair (Test_util.elem_arbitrary ~max_nodes:40 ()) (int_bound 1_000_000))
+    (fun (elem, seed) ->
+      let doc = Xmlest.Document.of_elem elem in
+      let rng = Xmlest.Splitmix.create seed in
+      let strings = [| "a"; "b"; "conf"; "x"; "" |] in
+      let tags = [| "a"; "b"; "c"; "nosuchtag" |] in
+      let rec gen depth =
+        let leaf () =
+          match Xmlest.Splitmix.int rng 8 with
+          | 0 -> Xmlest.Predicate.True
+          | 1 -> Xmlest.Predicate.Tag (Xmlest.Splitmix.choose rng tags)
+          | 2 -> Xmlest.Predicate.Text_eq (Xmlest.Splitmix.choose rng strings)
+          | 3 -> Xmlest.Predicate.Text_prefix (Xmlest.Splitmix.choose rng strings)
+          | 4 -> Xmlest.Predicate.Text_suffix (Xmlest.Splitmix.choose rng strings)
+          | 5 -> Xmlest.Predicate.Text_contains (Xmlest.Splitmix.choose rng strings)
+          | 6 ->
+            Xmlest.Predicate.Attr_eq
+              ( Xmlest.Splitmix.choose rng strings,
+                Xmlest.Splitmix.choose rng strings )
+          | _ -> Xmlest.Predicate.Level_eq (Xmlest.Splitmix.int rng 5)
+        in
+        if depth >= 3 then leaf ()
+        else
+          match Xmlest.Splitmix.int rng 5 with
+          | 0 -> Xmlest.Predicate.And (gen (depth + 1), gen (depth + 1))
+          | 1 -> Xmlest.Predicate.Or (gen (depth + 1), gen (depth + 1))
+          | 2 -> Xmlest.Predicate.Not (gen (depth + 1))
+          | _ -> leaf ()
+      in
+      let p = gen 0 in
+      let c = Xmlest.Predicate.compile doc p in
+      let ok = ref true in
+      for v = 0 to Xmlest.Document.size doc - 1 do
+        if
+          Xmlest.Predicate.compiled_eval c v <> Xmlest.Predicate.eval p doc v
+        then ok := false
+      done;
+      !ok)
+
+let test_dispatch_matches_eval () =
+  let doc = sample () in
+  let open Xmlest.Predicate in
+  let preds =
+    [
+      Tag "book";
+      Tag "zzz";
+      (* target `Nothing: never evaluated *)
+      text_prefix ~tag:"cite" "conf";
+      Text_contains "Query";
+      True;
+    ]
+  in
+  let d = dispatch doc preds in
+  let arr = Array.of_list preds in
+  for v = 0 to Xmlest.Document.size doc - 1 do
+    let got = ref [] in
+    dispatch_node d doc v ~f:(fun k -> got := k :: !got);
+    let expected = ref [] in
+    for k = Array.length arr - 1 downto 0 do
+      if eval arr.(k) doc v then expected := k :: !expected
+    done;
+    check
+      Alcotest.(list int)
+      ("matches @ node " ^ string_of_int v)
+      !expected
+      (List.sort Stdlib.compare !got)
+  done;
+  Alcotest.(check bool) "evaluations counted" true (dispatch_evals d > 0);
+  (* the `Nothing predicate and the off-tag pinned ones cost nothing: each
+     node evaluates at most its own tag's pinned predicates plus the two
+     unpinned ones *)
+  Alcotest.(check bool)
+    "dispatch skips irrelevant predicates" true
+    (dispatch_evals d < Xmlest.Document.size doc * List.length preds)
+
+let test_target () =
+  let doc = sample () in
+  let open Xmlest.Predicate in
+  let tid t =
+    match Xmlest.Document.lookup_tag_id doc t with
+    | Some id -> id
+    | None -> Alcotest.failf "tag %s missing" t
+  in
+  Alcotest.(check bool) "tag" true (target doc (Tag "book") = `Tag (tid "book"));
+  Alcotest.(check bool)
+    "pinned conjunction" true
+    (target doc (text_prefix ~tag:"cite" "conf") = `Tag (tid "cite"));
+  Alcotest.(check bool) "absent tag" true (target doc (Tag "zzz") = `Nothing);
+  Alcotest.(check bool) "true" true (target doc True = `Any);
+  Alcotest.(check bool)
+    "disjunction unpinned" true
+    (target doc (Or (Tag "book", Tag "paper")) = `Any)
+
 (* --- Pattern ------------------------------------------------------------ *)
 
 let test_pattern_builders () =
@@ -307,6 +472,19 @@ let () =
           Alcotest.test_case "syntax roundtrip" `Quick test_pred_syntax_roundtrip_fixed;
           Alcotest.test_case "syntax errors" `Quick test_pred_syntax_errors;
           qcheck prop_pred_syntax_roundtrip;
+        ] );
+      ( "substring",
+        [
+          Alcotest.test_case "KMP edge cases" `Quick test_substring_edge_cases;
+          qcheck prop_substring_matches_naive;
+        ] );
+      ( "compile",
+        [
+          Alcotest.test_case "compile = eval on sample" `Quick
+            test_compile_on_sample;
+          qcheck prop_compile_equals_eval;
+          Alcotest.test_case "dispatch = eval" `Quick test_dispatch_matches_eval;
+          Alcotest.test_case "target classification" `Quick test_target;
         ] );
       ( "pattern",
         [

@@ -353,6 +353,66 @@ let prop_nesting_matches_brute_force =
       in
       Xmlest.Interval_ops.count_nesting_pairs doc nodes = expected)
 
+(* --- Streaming sweep ---------------------------------------------------- *)
+
+let prop_stream_nearest_matches_parent_chain =
+  QCheck.Test.make ~count:200 ~name:"stream feed = parent-chain nearest"
+    (Test_util.doc_two_tags_arbitrary ~max_nodes:40 ())
+    (fun (_, doc, t1, _) ->
+      let pred = Xmlest.Predicate.tag t1 in
+      let n = Xmlest.Document.size doc in
+      let in_set = Array.init n (fun v -> Xmlest.Predicate.eval pred doc v) in
+      (* reference: the legacy parent-chain computation of the nearest
+         strict set-ancestor *)
+      let nearest = Array.make n (-1) in
+      for v = 1 to n - 1 do
+        let p = Xmlest.Document.parent doc v in
+        nearest.(v) <- (if in_set.(p) then p else nearest.(p))
+      done;
+      let s = Xmlest.Interval_ops.stream doc in
+      let ok = ref true in
+      for v = 0 to n - 1 do
+        if Xmlest.Interval_ops.feed s v ~in_set:in_set.(v) <> nearest.(v) then
+          ok := false
+      done;
+      let brute_nesting =
+        Test_util.brute_force_pairs doc pred pred ~axis:`Descendant > 0
+      in
+      !ok && Bool.equal (Xmlest.Interval_ops.nesting_seen s) brute_nesting)
+
+let prop_has_nesting_agrees_with_pair_count =
+  QCheck.Test.make ~count:150 ~name:"has_nesting = (nesting pairs > 0)"
+    (Test_util.doc_two_tags_arbitrary ~max_nodes:40 ())
+    (fun (_, doc, t1, _) ->
+      let nodes = Xmlest.Document.nodes_with_tag doc t1 in
+      Bool.equal
+        (Xmlest.Interval_ops.has_nesting doc nodes)
+        (Xmlest.Interval_ops.count_nesting_pairs doc nodes > 0))
+
+(* --- Tag-id index ------------------------------------------------------- *)
+
+let test_tag_id_index () =
+  let doc = Test_util.fig1_doc () in
+  let n = Xmlest.Document.num_tags doc in
+  check Alcotest.int "num_tags = distinct tags"
+    (List.length (Xmlest.Document.distinct_tags doc))
+    n;
+  for id = 0 to n - 1 do
+    let name = Xmlest.Document.tag_name doc id in
+    check
+      Alcotest.(option int)
+      ("intern roundtrip " ^ name)
+      (Some id)
+      (Xmlest.Document.lookup_tag_id doc name);
+    check
+      Alcotest.(list int)
+      ("index by id = index by name " ^ name)
+      (Array.to_list (Xmlest.Document.nodes_with_tag doc name))
+      (Array.to_list (Xmlest.Document.nodes_with_tag_id doc id))
+  done;
+  check Alcotest.(option int) "unknown tag" None
+    (Xmlest.Document.lookup_tag_id doc "nosuchtag")
+
 (* --- Doc_stats --------------------------------------------------------- *)
 
 let test_doc_stats () =
@@ -415,6 +475,9 @@ let () =
           Alcotest.test_case "nesting detection" `Quick test_nesting_detection;
           Alcotest.test_case "nesting counts" `Quick test_nesting_counts;
           qcheck prop_nesting_matches_brute_force;
+          qcheck prop_stream_nearest_matches_parent_chain;
+          qcheck prop_has_nesting_agrees_with_pair_count;
+          Alcotest.test_case "tag-id index" `Quick test_tag_id_index;
         ] );
       ("doc_stats", [ Alcotest.test_case "fig1 stats" `Quick test_doc_stats ]);
     ]
