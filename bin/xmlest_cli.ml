@@ -59,11 +59,11 @@ let generate_cmd =
       | `Xmark -> Xmlest.Xmark_gen.generate ?seed ~scale ()
       | `Shakespeare ->
         Xmlest.Shakespeare_gen.generate ?seed
-          ~acts:(max 1 (int_of_float (5.0 *. scale)))
+          ~acts:(Int.max 1 (int_of_float (5.0 *. scale)))
           ()
       | `Treebank ->
         Xmlest.Treebank_gen.generate ?seed
-          ~sentences:(max 1 (int_of_float (200.0 *. scale)))
+          ~sentences:(Int.max 1 (int_of_float (200.0 *. scale)))
           ()
     in
     if output = "-" then print_string (Xmlest.Xml_writer.to_string elem)
@@ -134,7 +134,7 @@ let build_summary_cmd =
       output
       (List.length (Xmlest.Summary.predicates summary))
       (Xmlest.Summary.storage_bytes summary)
-      (try (Unix.stat output).Unix.st_size with _ -> 0)
+      (try (Unix.stat output).Unix.st_size with Unix.Unix_error _ -> 0)
   in
   let info =
     Cmd.info "build-summary"
@@ -173,6 +173,12 @@ let estimate_cmd =
     Arg.(value & flag & info [ "explain" ]
            ~doc:"Print the join-by-join estimation trace.")
   in
+  let check =
+    Arg.(value & flag & info [ "check" ]
+           ~doc:"Run static analysis on the query (contradictory \
+                 conjunctions, impossible levels, tags outside the \
+                 document) and print the diagnostics before estimating.")
+  in
   let catalog_file =
     Arg.(value & opt (some string) None & info [ "catalog" ] ~docv:"FILE"
            ~doc:"Persist the histogram catalog (histograms + memoized \
@@ -181,7 +187,7 @@ let estimate_cmd =
                  invocations reuse the coefficient arrays.")
   in
   let run file from_summary query grid equidepth exact no_coverage explain
-      catalog_file =
+      check catalog_file =
     let pattern = parse_query query in
     let summary, doc =
       if from_summary then begin
@@ -211,8 +217,17 @@ let estimate_cmd =
     let options =
       { Xmlest.Twig_estimator.default_options with use_no_overlap = not no_coverage }
     in
-    let est = Xmlest.Summary.estimate ~options summary pattern in
-    Printf.printf "estimate: %.1f\n" est;
+    let est, diags = Xmlest.Summary.estimate_checked ~options summary pattern in
+    if check then
+      List.iter
+        (fun d -> Printf.printf "check: %s\n" (Xmlest.Pattern_check.to_string [ d ]))
+        diags;
+    if Xmlest.Pattern_check.unsatisfiable diags then
+      Printf.printf "estimate: %.1f (static analysis proves the pattern \
+                     unsatisfiable%s)\n"
+        est
+        (if check then "" else "; rerun with --check for details")
+    else Printf.printf "estimate: %.1f\n" est;
     (match catalog_file with
     | Some path ->
       Xmlest.Summary.save_catalog summary path;
@@ -248,7 +263,7 @@ let estimate_cmd =
   in
   Cmd.v info
     Term.(const run $ file $ from_summary $ query $ grid_arg $ equidepth_arg
-          $ exact $ no_coverage $ explain $ catalog_file)
+          $ exact $ no_coverage $ explain $ check $ catalog_file)
 
 (* --- plan -------------------------------------------------------------- *)
 

@@ -19,7 +19,7 @@ let prefix_of config value =
     | Some k -> k
     | None -> String.length value
   in
-  String.sub value 0 (min cut config.prefix_length)
+  String.sub value 0 (Int.min cut config.prefix_length)
 
 let suggest_content ?(config = default_config) doc ~tag =
   let nodes = Document.nodes_with_tag doc tag in
@@ -44,7 +44,8 @@ let suggest_content ?(config = default_config) doc ~tag =
       Hashtbl.fold
         (fun key n acc -> if share n >= threshold then (n, key) :: acc else acc)
         tbl []
-      |> List.sort (fun a b -> compare b a)
+      |> List.sort (fun (n1, k1) (n2, k2) ->
+             match Int.compare n2 n1 with 0 -> String.compare k2 k1 | c -> c)
     in
     let value_preds =
       List.map

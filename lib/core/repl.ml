@@ -19,6 +19,7 @@ let help =
       "  stats                          per-tag statistics of the document";
       "  summarize [grid] [equidepth]   build histograms (default grid 10)";
       "  estimate <query>               estimate a twig query's answer size";
+      "  check <query>                  static analysis of a query against the summary";
       "  explain <query>                estimate with a join-by-join trace";
       "  exact <query>                  exact answer size (counting engine)";
       "  plan <query>                   rank join orders by estimated cost";
@@ -76,11 +77,11 @@ let cmd_gen state dataset scale =
     | "xmark" -> Xmlest_datagen.Xmark_gen.generate ~scale ()
     | "shakespeare" ->
       Xmlest_datagen.Shakespeare_gen.generate
-        ~acts:(max 1 (int_of_float (5.0 *. scale)))
+        ~acts:(Int.max 1 (int_of_float (5.0 *. scale)))
         ()
     | "treebank" ->
       Xmlest_datagen.Treebank_gen.generate
-        ~sentences:(max 1 (int_of_float (200.0 *. scale)))
+        ~sentences:(Int.max 1 (int_of_float (200.0 *. scale)))
         ()
     | other -> reply "error: unknown data set %S" other
   in
@@ -115,7 +116,18 @@ let cmd_summarize state args =
 let cmd_estimate state q =
   let summary = need_summary state in
   let pattern = parse_pattern q in
-  Printf.sprintf "~%.1f matches" (Summary.estimate summary pattern)
+  let est, diags = Summary.estimate_checked summary pattern in
+  if Pattern_check.unsatisfiable diags then
+    Printf.sprintf "~%.1f matches (unsatisfiable pattern)\n%s" est
+      (Pattern_check.to_string diags)
+  else Printf.sprintf "~%.1f matches" est
+
+let cmd_check state q =
+  let summary = need_summary state in
+  let pattern = parse_pattern q in
+  match Summary.check summary pattern with
+  | [] -> "no issues found"
+  | diags -> Pattern_check.to_string diags
 
 let cmd_explain state q =
   let summary = need_summary state in
@@ -163,7 +175,7 @@ let cmd_run state q limit =
   in
   let result = Executor.run doc pattern ~order in
   let total = List.length result.Executor.rows in
-  let shown = min limit total in
+  let shown = Int.min limit total in
   let flat = Pattern.flatten pattern in
   let header = Printf.sprintf "%d matches" total in
   let rows =
@@ -185,7 +197,7 @@ let cmd_run state q limit =
 let cmd_hist state tag =
   let summary = need_summary state in
   let h = Summary.histogram summary (Predicate.tag tag) in
-  if Xmlest_histogram.Position_histogram.total h = 0.0 then
+  if Float.equal (Xmlest_histogram.Position_histogram.total h) 0.0 then
     reply "error: no nodes with tag %S" tag
   else Format.asprintf "%a" Xmlest_histogram.Position_histogram.pp_heatmap h
 
@@ -255,6 +267,7 @@ let execute state line =
     | [ "stats" ] -> cmd_stats state
     | "summarize" :: args -> cmd_summarize state args
     | [ "estimate"; q ] | [ "est"; q ] -> cmd_estimate state q
+    | [ "check"; q ] -> cmd_check state q
     | [ "explain"; q ] -> cmd_explain state q
     | [ "exact"; q ] -> cmd_exact state q
     | [ "plan"; q ] -> cmd_plan state q

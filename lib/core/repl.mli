@@ -11,6 +11,7 @@
     stats
     summarize [grid-size] [equidepth]
     estimate <query>        explain <query>
+    check <query>
     exact <query>           plan <query>
     run <query> [limit]
     save-summary <file>     load-summary <file>

@@ -198,15 +198,15 @@ let build_fused ?(grid_size = 10) ?(grid_kind = `Uniform) ?schema_no_overlap
     | None -> Array.make p None
     | Some f -> Array.map (fun (_, pred) -> f pred) uniq
   in
-  let matched = Array.make (max p 1) false in
-  let matched_list = Array.make (max p 1) 0 in
+  let matched = Array.make (Int.max p 1) false in
+  let matched_list = Array.make (Int.max p 1) 0 in
   (* Pass 1 (equi-depth only): matched node sets, no grid needed yet. *)
   let grid, match_arrays =
     match grid_kind with
     | `Uniform ->
       (Grid.create ~size:grid_size ~max_pos:(Document.max_pos doc), None)
     | `Equidepth ->
-      let acc = Array.make (max p 1) [] in
+      let acc = Array.make (Int.max p 1) [] in
       for v = 0 to n - 1 do
         Predicate.dispatch_node disp doc v ~f:(fun u -> acc.(u) <- v :: acc.(u))
       done;
@@ -260,7 +260,7 @@ let build_fused ?(grid_size = 10) ?(grid_kind = `Uniform) ?schema_no_overlap
         | Some true | None -> Some (Coverage_histogram.builder grid))
   in
   let streams = Array.init p (fun _ -> Interval_ops.stream doc) in
-  let counts = Array.make (max p 1) 0 in
+  let counts = Array.make (Int.max p 1) 0 in
   let populations = Array.make (Grid.cells grid) 0.0 in
   let pop_b = Position_histogram.builder grid in
   let node_cell = Array.make n 0 in
@@ -312,7 +312,7 @@ let build_fused ?(grid_size = 10) ?(grid_kind = `Uniform) ?schema_no_overlap
   | Some arrays ->
     (* Replay pass 1's matches through per-predicate cursors: the arrays
        are in document order, so each head is compared against [v] once. *)
-    let cursor = Array.make (max p 1) 0 in
+    let cursor = Array.make (Int.max p 1) 0 in
     fill_pass (fun v ->
         let nmatched = ref 0 in
         for u = 0 to p - 1 do
@@ -483,6 +483,24 @@ let explain ?options t pattern =
 let estimate_string ?options t query =
   estimate ?options t (Pattern_parser.pattern_exn query)
 
+(* Static analysis before estimation: with the document at hand its tag
+   list is the complete schema (an absent tag proves a 0 answer); a loaded
+   summary only knows the tags its catalog predicates pin, so absence is a
+   warning, not a proof. *)
+let check t pattern =
+  match t.doc with
+  | Some doc ->
+    Pattern_check.check ~known_tags:(Document.distinct_tags doc)
+      ~tags_exhaustive:true pattern
+  | None ->
+    let tags = List.filter_map Predicate.tag_of t.preds in
+    Pattern_check.check ~known_tags:tags ~tags_exhaustive:false pattern
+
+let estimate_checked ?options t pattern =
+  let diags = check t pattern in
+  if Pattern_check.unsatisfiable diags then (0.0, diags)
+  else (estimate ?options t pattern, diags)
+
 let storage_bytes t =
   Hashtbl.fold
     (fun _ e acc ->
@@ -608,14 +626,16 @@ let of_string input =
   let int_of w = try int_of_string w with Failure _ -> fail ("bad integer " ^ w) in
   let float_of w = try float_of_string w with Failure _ -> fail ("bad number " ^ w) in
   try
-    if next () <> version_line then fail "not an xmlest summary (bad header)";
+    if not (String.equal (next ()) version_line) then
+      fail "not an xmlest summary (bad header)";
     let grid =
       match words (next ()) with
       | [ "grid"; "uniform"; size; max_pos ] ->
         Grid.create ~size:(int_of size) ~max_pos:(int_of max_pos)
       | "grid" :: "boundaries" :: size :: max_pos :: inner ->
         let size = int_of size and max_pos = int_of max_pos in
-        if List.length inner <> size - 1 then fail "boundary count mismatch";
+        if not (Int.equal (List.length inner) (size - 1)) then
+          fail "boundary count mismatch";
         let inner = List.map int_of inner in
         let boundaries = Array.of_list ((0 :: inner) @ [ max_pos + 1 ]) in
         (try Grid.of_boundaries boundaries
@@ -693,7 +713,8 @@ let of_string input =
         match words (next ()) with
         | [ "level"; "none" ] -> None
         | "level" :: m :: counts ->
-          if List.length counts <> int_of m then fail "level count mismatch";
+          if not (Int.equal (List.length counts) (int_of m)) then
+            fail "level count mismatch";
           with_levels := true;
           Some (Level_histogram.of_counts (Array.of_list (List.map float_of counts)))
         | _ -> fail "expected level section"

@@ -128,6 +128,23 @@ val adopt_catalog : t -> from:Catalog.t -> int
 val estimate : ?options:Twig_estimator.options -> t -> Pattern.t -> float
 (** Estimate the answer size of a twig pattern. *)
 
+val check : t -> Pattern.t -> Pattern_check.diag list
+(** Static analysis of the pattern against this summary
+    ({!Xmlest_query.Pattern_check}).  When the summary still carries its
+    document, the document's tag set is the complete schema, so a pattern
+    tag outside it is {!Pattern_check.Unsat}; for loaded summaries only
+    the catalog predicates' tags are known and unknown tags are
+    {!Pattern_check.Warn}. *)
+
+val estimate_checked :
+  ?options:Twig_estimator.options ->
+  t ->
+  Pattern.t ->
+  float * Pattern_check.diag list
+(** {!check}, then {!estimate} — unless the diagnostics prove the pattern
+    unsatisfiable, in which case the estimate is exactly [0.0] and the
+    pH-join machinery is skipped. *)
+
 val estimate_string : ?options:Twig_estimator.options -> t -> string -> float
 (** Parse an XPath-like query ({!Xmlest_query.Pattern_parser}) and estimate
     it.  Raises [Failure] on a parse error. *)

@@ -1,18 +1,5 @@
-(** Single entry point re-exporting the public surface of the library.
-
-    {b xmlest} reproduces "Estimating Answer Sizes for XML Queries"
-    (Wu, Patel & Jagadish, EDBT 2002): position histograms and the pH-join
-    estimation algorithm for XML twig queries, together with the substrates
-    they need (XML parsing and interval labeling, dataset generators, an
-    exact structural-join engine).
-
-    Typical use:
-    {[
-      let doc = Xmlest.Document.of_elem (Xmlest.Dblp_gen.generate_scaled 0.1) in
-      let preds = [ Xmlest.Predicate.tag "article"; Xmlest.Predicate.tag "author" ] in
-      let summary = Xmlest.Summary.build doc preds in
-      Xmlest.Summary.estimate_string summary "//article//author"
-    ]} *)
+(** Single entry point re-exporting the public surface of the library
+    (see {!Xmlest} for the module map and a usage example). *)
 
 (* XML substrate *)
 module Elem = Xmlest_xmldb.Elem

@@ -48,7 +48,8 @@ let config ?(seed = 1109) ~scale () =
   {
     default_config with
     seed;
-    n_records = max 1 (int_of_float (float_of_int default_config.n_records *. scale));
+    n_records =
+      Int.max 1 (int_of_float (float_of_int default_config.n_records *. scale));
   }
 
 let venues_conf =
@@ -83,7 +84,9 @@ let year_text rng =
 let record rng kind cfg =
   let children = ref [] in
   let add e = children := e :: !children in
-  let n_authors = max 1 (Distributions.poisson rng (cfg.authors_mean -. 1.0) + 1) in
+  let n_authors =
+    Int.max 1 (Distributions.poisson rng (cfg.authors_mean -. 1.0) + 1)
+  in
   for _ = 1 to n_authors do
     add (Elem.leaf "author" (Text_pool.person rng))
   done;
@@ -102,7 +105,7 @@ let record rng kind cfg =
     add (Elem.leaf "cdrom" (Printf.sprintf "CDROM/%s%d" (Text_pool.word rng) (Splitmix.int rng 100)));
   let p_has_cites, cites_mean = cfg.cite_profile kind in
   if Splitmix.bool rng p_has_cites then begin
-    let n = max 1 (Distributions.poisson rng (cites_mean -. 1.0) + 1) in
+    let n = Int.max 1 (Distributions.poisson rng (cites_mean -. 1.0) + 1) in
     for _ = 1 to n do
       add (Elem.leaf "cite" (cite_text rng))
     done
@@ -138,7 +141,9 @@ let generate cfg =
   let records = List.rev !records in
   let records =
     if cfg.group_by_kind then
-      List.stable_sort (fun (a, _) (b, _) -> compare (kind_rank a) (kind_rank b)) records
+      List.stable_sort
+        (fun (a, _) (b, _) -> Int.compare (kind_rank a) (kind_rank b))
+        records
     else records
   in
   Elem.make ~children:(List.map snd records) "dblp"

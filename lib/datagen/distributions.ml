@@ -38,11 +38,11 @@ let poisson rng mean =
 
 let normal_int rng ~mean ~dev ~min:lo =
   (* Box-Muller. *)
-  let u1 = max epsilon_float (Splitmix.float rng 1.0) in
+  let u1 = Float.max epsilon_float (Splitmix.float rng 1.0) in
   let u2 = Splitmix.float rng 1.0 in
   let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
   let v = int_of_float (Float.round (mean +. (dev *. z))) in
-  max lo v
+  Int.max lo v
 
 let pareto_split rng ~total ~parts ~alpha =
   if parts <= 0 then [||]
@@ -54,7 +54,7 @@ let pareto_split rng ~total ~parts ~alpha =
     let assigned = ref 0 in
     for i = 0 to parts - 1 do
       let share = int_of_float (Float.round (float_of_int total *. weights.(i) /. sum)) in
-      let share = min share (total - !assigned) in
+      let share = Int.min share (total - !assigned) in
       out.(i) <- share;
       assigned := !assigned + share
     done;

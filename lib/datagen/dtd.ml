@@ -107,12 +107,14 @@ let pp ppf t =
    position of [froms].  Positions are deduplicated to keep the match
    polynomial. *)
 let rec advance tags p froms =
-  let dedup l = List.sort_uniq compare l in
+  let dedup l = List.sort_uniq Int.compare l in
   match p with
   | Pcdata | Empty -> froms
   | Elem_ref n ->
     List.filter_map
-      (fun i -> if i < Array.length tags && tags.(i) = n then Some (i + 1) else None)
+      (fun i ->
+        if i < Array.length tags && String.equal tags.(i) n then Some (i + 1)
+        else None)
       froms
   | Seq ps -> List.fold_left (fun fs q -> dedup (advance tags q fs)) froms ps
   | Choice ps ->

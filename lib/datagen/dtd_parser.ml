@@ -102,7 +102,7 @@ let parse src =
     let i = ref 0 in
     let looking_at s =
       let l = String.length s in
-      !i + l <= n && String.sub src !i l = s
+      !i + l <= n && String.equal (String.sub src !i l) s
     in
     while !i < n do
       if looking_at "<!--" then begin

@@ -4,7 +4,7 @@ open Xmlest_query
 type axis = Self | Child | Parent | Descendant | Ancestor | Following | Preceding
 
 (* Sort + dedupe node indices (pre-order index = document order). *)
-let normalize nodes = List.sort_uniq compare nodes
+let normalize nodes = List.sort_uniq Int.compare nodes
 
 let step doc context axis pred =
   let keep v = Predicate.eval pred doc v in
@@ -25,13 +25,14 @@ let step doc context axis pred =
       let ranges =
         List.map (fun v -> (v + 1, Document.subtree_last doc v)) context
         |> List.filter (fun (lo, hi) -> lo <= hi)
-        |> List.sort compare
+        |> List.sort (fun (lo1, hi1) (lo2, hi2) ->
+               match Int.compare lo1 lo2 with 0 -> Int.compare hi1 hi2 | c -> c)
       in
       let merged =
         List.fold_left
           (fun acc (lo, hi) ->
             match acc with
-            | (plo, phi) :: rest when lo <= phi + 1 -> (plo, max phi hi) :: rest
+            | (plo, phi) :: rest when lo <= phi + 1 -> (plo, Int.max phi hi) :: rest
             | acc -> (lo, hi) :: acc)
           [] ranges
         |> List.rev
@@ -63,7 +64,9 @@ let step doc context axis pred =
       | [] -> []
       | _ ->
         let min_end =
-          List.fold_left (fun acc v -> min acc (Document.end_pos doc v)) max_int context
+          List.fold_left
+            (fun acc v -> Int.min acc (Document.end_pos doc v))
+            max_int context
         in
         let out = ref [] in
         for v = Document.size doc - 1 downto 0 do
@@ -75,7 +78,9 @@ let step doc context axis pred =
       | [] -> []
       | _ ->
         let max_start =
-          List.fold_left (fun acc v -> max acc (Document.start_pos doc v)) (-1) context
+          List.fold_left
+            (fun acc v -> Int.max acc (Document.start_pos doc v))
+            (-1) context
         in
         let out = ref [] in
         for v = Document.size doc - 1 downto 0 do

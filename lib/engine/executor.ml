@@ -21,11 +21,11 @@ let nearest_in (flat : Pattern.flat) in_set id =
    edge is the original parent edge; collapsed multi-step edges are always
    Descendant. *)
 let edge_holds doc flat ~parent_id ~child_id ~parent_node ~child_node =
-  let direct = flat.Pattern.parents.(child_id) = parent_id in
+  let direct = Int.equal flat.Pattern.parents.(child_id) parent_id in
   let axis = if direct then flat.Pattern.axes.(child_id) else Pattern.Descendant in
   match axis with
   | Pattern.Descendant -> Document.is_ancestor doc ~anc:parent_node ~desc:child_node
-  | Pattern.Child -> Document.parent doc child_node = parent_node
+  | Pattern.Child -> Int.equal (Document.parent doc child_node) parent_node
 
 (* Candidates for pattern node [id], in document order. *)
 let candidates doc flat id = Predicate.matching_nodes doc flat.Pattern.preds.(id)
@@ -43,8 +43,8 @@ let lower_bound doc nodes pos =
 let run doc pattern ~order =
   let flat = Pattern.flatten pattern in
   let n = Array.length flat.Pattern.preds in
-  (match List.sort compare order with
-  | sorted when sorted = List.init n Fun.id -> ()
+  (match List.sort Int.compare order with
+  | sorted when List.equal Int.equal sorted (List.init n Fun.id) -> ()
   | _ -> invalid_arg "Executor.run: order is not a permutation of the pattern nodes");
   match order with
   | [] -> { columns = []; rows = []; intermediate_sizes = [] }
@@ -68,7 +68,11 @@ let run doc pattern ~order =
           List.filter
             (fun c ->
               in_set.(id) <- true;
-              let res = nearest_in flat in_set c = Some id in
+              let res =
+                match nearest_in flat in_set c with
+                | Some p -> Int.equal p id
+                | None -> false
+              in
               in_set.(id) <- false;
               res)
             !columns
@@ -115,7 +119,7 @@ let run doc pattern ~order =
                columns; scan those starting before the leftmost one. *)
             let leftmost =
               List.fold_left
-                (fun acc c -> min acc (Document.start_pos doc row.(column_of.(c))))
+                (fun acc c -> Int.min acc (Document.start_pos doc row.(column_of.(c))))
                 max_int recaptured
             in
             let k = ref 0 in

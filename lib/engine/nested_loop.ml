@@ -4,7 +4,7 @@ let count_pairs ?(axis = `Descendant) doc ancs descs =
   let matches =
     match axis with
     | `Descendant -> fun a d -> Document.is_ancestor doc ~anc:a ~desc:d
-    | `Child -> fun a d -> Document.parent doc d = a
+    | `Child -> fun a d -> Int.equal (Document.parent doc d) a
   in
   let total = ref 0 in
   Array.iter

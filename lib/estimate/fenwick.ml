@@ -11,7 +11,7 @@ let add t i v =
   done
 
 let prefix_sum t i =
-  let i = ref (min i (t.n - 1) + 1) in
+  let i = ref (Int.min i (t.n - 1) + 1) in
   let acc = ref 0.0 in
   while !i > 0 do
     acc := !acc +. t.tree.(!i);

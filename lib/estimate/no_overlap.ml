@@ -20,7 +20,8 @@ let estimate_cells_by_ancestor ~coverage ~desc_weight ~anc_scale =
   let scaled = Position_histogram.create_empty grid in
   Position_histogram.iter_nonzero out (fun ~i ~j v ->
       let s = anc_scale ~i ~j in
-      if s <> 0.0 then Position_histogram.add scaled ~i ~j (v *. s));
+      if not (Float.equal s 0.0) then
+        Position_histogram.add scaled ~i ~j (v *. s));
   scaled
 
 let descendant_participation ~desc ~coverage ~anc_nonzero =
@@ -31,7 +32,7 @@ let descendant_participation ~desc ~coverage ~anc_nonzero =
       Coverage_histogram.iter_covers coverage ~i ~j (fun ~m ~n frac ->
           if anc_nonzero ~i:m ~j:n then covered := !covered +. frac);
       let v = count *. !covered in
-      if v <> 0.0 then Position_histogram.add out ~i ~j v);
+      if not (Float.equal v 0.0) then Position_histogram.add out ~i ~j v);
   out
 
 let participation_saturation ~n ~m =

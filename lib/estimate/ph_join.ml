@@ -38,7 +38,7 @@ let descendant_coefficients histB =
   let coef = Array.make (g * g) 0.0 in
   for i = 0 to g - 1 do
     for j = i to g - 1 do
-      if i = j then coef.(idx g i j) <- self.(idx g i j) /. 12.0
+      if Int.equal i j then coef.(idx g i j) <- self.(idx g i j) /. 12.0
       else
         coef.(idx g i j) <-
           desc.(idx g i j)
@@ -83,7 +83,10 @@ let ancestor_coefficients histA =
   let coef = Array.make (g * g) 0.0 in
   for i = 0 to g - 1 do
     for j = i to g - 1 do
-      let shared = if i = j then self.(idx g i j) /. 12.0 else self.(idx g i j) /. 4.0 in
+      let shared =
+        if Int.equal i j then self.(idx g i j) /. 12.0
+        else self.(idx g i j) /. 4.0
+      in
       coef.(idx g i j) <- anc.(idx g i j) +. up.(idx g i j) +. left.(idx g i j) +. shared
     done
   done;
@@ -96,17 +99,20 @@ let cell_pair_weight ?(direction = Ancestor_based) ~anc:(i, j) ~desc:(k, l) () =
   match direction with
   | Ancestor_based ->
     if k < i || l > j || k > l then 0.0
-    else if k = i && l = j then if i = j then 1.0 /. 12.0 else 0.25
-    else if i = j then 0.0 (* on-diagonal ancestor joins only its own cell *)
+    else if Int.equal k i && Int.equal l j then
+      if Int.equal i j then 1.0 /. 12.0 else 0.25
+    else if Int.equal i j then 0.0
+      (* on-diagonal ancestor joins only its own cell *)
     else if k > i && l < j then 1.0
-    else if k = i && l < j then if l = i then 0.5 else 1.0
-    else if l = j && k > i then if k = j then 0.5 else 1.0
+    else if Int.equal k i && l < j then if Int.equal l i then 0.5 else 1.0
+    else if Int.equal l j && k > i then if Int.equal k j then 0.5 else 1.0
     else 0.0
   | Descendant_based ->
     (* roles flipped: (i, j) is the ancestor cell, (k, l) the descendant;
        ancestors of (k, l) lie at cells (i, j) with i <= k and j >= l. *)
     if i > k || j < l then 0.0
-    else if i = k && j = l then if k = l then 1.0 /. 12.0 else 0.25
+    else if Int.equal i k && Int.equal j l then
+      if Int.equal k l then 1.0 /. 12.0 else 0.25
     else 1.0
 
 let check_grids a b =
@@ -123,12 +129,12 @@ let estimate_cells ?(direction = Ancestor_based) ~anc ~desc () =
     let coef = descendant_coefficients desc in
     Position_histogram.iter_nonzero anc (fun ~i ~j count ->
         let est = count *. coef.(idx g i j) in
-        if est <> 0.0 then Position_histogram.add out ~i ~j est)
+        if not (Float.equal est 0.0) then Position_histogram.add out ~i ~j est)
   | Descendant_based ->
     let coef = ancestor_coefficients anc in
     Position_histogram.iter_nonzero desc (fun ~i ~j count ->
         let est = count *. coef.(idx g i j) in
-        if est <> 0.0 then Position_histogram.add out ~i ~j est));
+        if not (Float.equal est 0.0) then Position_histogram.add out ~i ~j est));
   out
 
 let estimate ?direction ~anc ~desc () =
@@ -145,7 +151,7 @@ let estimate_cells_with ?(direction = Ancestor_based) ~coefs ~anc ~desc () =
   check_grids anc desc;
   let grid = Position_histogram.grid anc in
   let g = grid.Grid.size in
-  if Array.length coefs <> g * g then
+  if not (Int.equal (Array.length coefs) (g * g)) then
     invalid_arg
       (Printf.sprintf
          "Ph_join.estimate_cells_with: %d coefficients for a %dx%d grid"
@@ -157,7 +163,7 @@ let estimate_cells_with ?(direction = Ancestor_based) ~coefs ~anc ~desc () =
   in
   Position_histogram.iter_nonzero outer (fun ~i ~j count ->
       let est = count *. coefs.(idx g i j) in
-      if est <> 0.0 then Position_histogram.add out ~i ~j est);
+      if not (Float.equal est 0.0) then Position_histogram.add out ~i ~j est);
   out
 
 let estimate_with ?direction ~coefs ~anc ~desc () =
@@ -201,7 +207,12 @@ let estimate_sparse ?(direction = Ancestor_based) ~anc ~desc () =
       let out = Hashtbl.create 32 in
       Hashtbl.iter
         (fun key entries ->
-          let sorted = List.sort compare entries in
+          let sorted =
+            List.sort
+              (fun (p1, v1) (p2, v2) ->
+                match Int.compare p1 p2 with 0 -> Float.compare v1 v2 | c -> c)
+              entries
+          in
           let acc = ref 0.0 in
           let cumulative =
             List.map
@@ -234,10 +245,10 @@ let estimate_sparse ?(direction = Ancestor_based) ~anc ~desc () =
     (* Offline dominance: sweep start buckets downward, inserting desc
        cells with start bucket > i before answering queries at i. *)
     let queries =
-      List.sort (fun (i1, _, _) (i2, _, _) -> compare i2 i1) anc_cells
+      List.sort (fun (i1, _, _) (i2, _, _) -> Int.compare i2 i1) anc_cells
     in
     let inserts =
-      List.sort (fun (k1, _, _) (k2, _, _) -> compare k2 k1) desc_cells
+      List.sort (fun (k1, _, _) (k2, _, _) -> Int.compare k2 k1) desc_cells
     in
     let bit = Fenwick.create g in
     let total = ref 0.0 in
@@ -255,7 +266,7 @@ let estimate_sparse ?(direction = Ancestor_based) ~anc ~desc () =
         in
         drain ();
         let coef =
-          if i = j then cell_value (i, i) /. 12.0
+          if Int.equal i j then cell_value (i, i) /. 12.0
           else begin
             let region = Fenwick.prefix_sum bit (j - 1) in
             let col_below = cumulative_upto col_prefix i (j - 1) in
@@ -279,8 +290,13 @@ let estimate_sparse ?(direction = Ancestor_based) ~anc ~desc () =
     (* dominance: ancestors of (i, j) are cells (k <= i, l >= j). Sweep i
        upward, inserting anc cells with k <= i, Fenwick over l with suffix
        queries. *)
-    let queries = List.sort compare desc_cells in
-    let inserts = List.sort compare anc_cells in
+    let compare_cells (i1, j1, v1) (i2, j2, v2) =
+      match Int.compare i1 i2 with
+      | 0 -> ( match Int.compare j1 j2 with 0 -> Float.compare v1 v2 | c -> c)
+      | c -> c
+    in
+    let queries = List.sort compare_cells desc_cells in
+    let inserts = List.sort compare_cells anc_cells in
     let bit = Fenwick.create g in
     let total = ref 0.0 in
     let remaining = ref inserts in
@@ -297,7 +313,7 @@ let estimate_sparse ?(direction = Ancestor_based) ~anc ~desc () =
         drain ();
         let dominated = Fenwick.range_sum bit ~lo:j ~hi:(g - 1) in
         let self = cell_value (i, j) in
-        let self_weight = if i = j then 1.0 /. 12.0 else 0.25 in
+        let self_weight = if Int.equal i j then 1.0 /. 12.0 else 0.25 in
         total := !total +. (vd *. (dominated -. self +. (self *. self_weight))))
       queries;
     !total

@@ -46,7 +46,7 @@ let weighted v =
   let out = Position_histogram.create_empty grid in
   Position_histogram.iter_nonzero v.part (fun ~i ~j count ->
       let w = count *. v.jn.(idx g i j) in
-      if w <> 0.0 then Position_histogram.add out ~i ~j w);
+      if not (Float.equal w 0.0) then Position_histogram.add out ~i ~j w);
   out
 
 let leaf_view ?source hist =
@@ -200,7 +200,9 @@ let rec view ?(options = default_options) ?trace catalog (p : Pattern.t) =
       let desc_weight = Position_histogram.scale (weighted child_view) factor in
       (* Scaling by anything but 1 changes the cell values, so the child's
          memoized coefficients no longer describe desc_weight. *)
-      let desc_source = if factor = 1.0 then child_view.source else None in
+      let desc_source =
+        if Float.equal factor 1.0 then child_view.source else None
+      in
       let joined, method_used =
         match coverage with
         | Some cvg ->

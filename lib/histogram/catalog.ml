@@ -55,7 +55,8 @@ let grid t = t.grid
 let length t = Hashtbl.length t.entries
 
 let keys t =
-  List.sort compare (Hashtbl.fold (fun key _ acc -> key :: acc) t.entries [])
+  List.sort String.compare
+    (Hashtbl.fold (fun key _ acc -> key :: acc) t.entries [])
 
 let mem t key = Hashtbl.mem t.entries key
 
@@ -96,7 +97,7 @@ let coefficients t key kind =
     let version = Position_histogram.version e.hist in
     let cached = match kind with Descendant -> e.desc | Ancestor -> e.anc in
     (match cached with
-    | Some s when s.slot_version = version ->
+    | Some s when Int.equal s.slot_version version ->
       t.hits <- t.hits + 1;
       Some s.coefs
     | stale ->
@@ -121,7 +122,9 @@ let cached_arrays t =
     (fun _ e acc ->
       let fresh slot =
         match slot with
-        | Some s when s.slot_version = Position_histogram.version e.hist -> 1
+        | Some s when Int.equal s.slot_version (Position_histogram.version e.hist)
+          ->
+          1
         | _ -> 0
       in
       acc + fresh e.desc + fresh e.anc)
@@ -194,7 +197,8 @@ let snapshot t =
         cells := (i, j, v) :: !cells);
     let fresh slot =
       match slot with
-      | Some s when s.slot_version = Position_histogram.version e.hist ->
+      | Some s when Int.equal s.slot_version (Position_histogram.version e.hist)
+        ->
         Some (Array.copy s.coefs)
       | _ -> None
     in
@@ -207,7 +211,7 @@ let snapshot t =
   in
   let entries =
     Hashtbl.fold (fun key e acc -> entry key e :: acc) t.entries []
-    |> List.sort (fun a b -> compare a.se_key b.se_key)
+    |> List.sort (fun a b -> String.compare a.se_key b.se_key)
   in
   { sv_grid = Option.map saved_grid t.grid; sv_entries = entries }
 
@@ -245,12 +249,14 @@ let restore ?clock ~compute_desc ~compute_anc (saved : saved) =
 
 let of_channel ?clock ~compute_desc ~compute_anc ic =
   match really_input_string ic (String.length magic) with
-  | header when header <> magic -> Error "not an xmlest catalog (bad header)"
+  | header when not (String.equal header magic) ->
+    Error "not an xmlest catalog (bad header)"
   | _ -> (
     match (Marshal.from_channel ic : saved) with
     | saved -> (
       try Ok (restore ?clock ~compute_desc ~compute_anc saved) with
       | Failure msg | Invalid_argument msg -> Error msg)
+    (* Marshal can raise anything on corrupt input. lint: allow catch-all *)
     | exception _ -> Error "corrupt catalog (unmarshal failed)")
   | exception End_of_file -> Error "not an xmlest catalog (truncated header)"
 
@@ -274,7 +280,7 @@ let absorb t ~from =
         let fv = Position_histogram.version fe.hist in
         let v = Position_histogram.version e.hist in
         let fresh = function
-          | Some s when s.slot_version = fv ->
+          | Some s when Int.equal s.slot_version fv ->
             incr adopted;
             Some { slot_version = v; coefs = s.coefs }
           | _ -> None

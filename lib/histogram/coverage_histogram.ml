@@ -31,7 +31,7 @@ let feed b ~covered ~covering =
     | l -> (covering, 1.0) :: l)
 
 let finish b ~populations =
-  if Array.length populations <> Grid.cells b.b_grid then
+  if not (Int.equal (Array.length populations) (Grid.cells b.b_grid)) then
     invalid_arg "Coverage_histogram.finish: population array length mismatch";
   let covers =
     Array.mapi
@@ -46,7 +46,9 @@ let finish b ~populations =
           lst;
         let pop = populations.(c) in
         Hashtbl.fold (fun m k acc -> (m, k /. pop) :: acc) tbl []
-        |> List.sort compare |> Array.of_list)
+        |> List.sort (fun (m1, f1) (m2, f2) ->
+               match Int.compare m1 m2 with 0 -> Float.compare f1 f2 | c -> c)
+        |> Array.of_list)
       b.b_counts
   in
   let total_cvg =
@@ -87,7 +89,7 @@ let coverage t ~i ~j ~m ~n =
     if k >= Array.length arr then 0.0
     else begin
       let cell, f = arr.(k) in
-      if cell = target then f else find (k + 1)
+      if Int.equal cell target then f else find (k + 1)
     end
   in
   find 0
@@ -143,7 +145,7 @@ let populations t = Array.copy t.populations
 
 let of_parts ~grid ~populations ~entries =
   let cells = Grid.cells grid in
-  if Array.length populations <> cells then
+  if not (Int.equal (Array.length populations) cells) then
     invalid_arg "Coverage_histogram.of_parts: population array length mismatch";
   let buckets = Array.make cells [] in
   List.iter
@@ -152,7 +154,16 @@ let of_parts ~grid ~populations ~entries =
         invalid_arg "Coverage_histogram.of_parts: cell index out of range";
       buckets.(covered) <- (covering, frac) :: buckets.(covered))
     entries;
-  let covers = Array.map (fun l -> Array.of_list (List.sort compare l)) buckets in
+  let covers =
+    Array.map
+      (fun l ->
+        Array.of_list
+          (List.sort
+             (fun (m1, f1) (m2, f2) ->
+               match Int.compare m1 m2 with 0 -> Float.compare f1 f2 | c -> c)
+             l))
+      buckets
+  in
   let total_cvg =
     Array.map (fun arr -> Array.fold_left (fun acc (_, f) -> acc +. f) 0.0 arr) covers
   in

@@ -17,7 +17,7 @@ let create ~size ~max_pos =
   check_size ~fn:"Grid.create" ~size ~max_pos;
   let cell_width = (max_pos + 1 + size - 1) / size in
   let boundaries =
-    Array.init (size + 1) (fun i -> min (i * cell_width) (max_pos + 1))
+    Array.init (size + 1) (fun i -> Int.min (i * cell_width) (max_pos + 1))
   in
   (* The last boundary is forced to cover the whole range even when
      size * width overshoots. *)
@@ -38,13 +38,15 @@ let equidepth ~size ~max_pos ~positions =
   let boundaries = Array.make (size + 1) 0 in
   boundaries.(size) <- max_pos + 1;
   for i = 1 to size - 1 do
-    let quantile = if n = 0 then 0 else positions.(min (n - 1) (i * n / size)) in
+    let quantile =
+      if n = 0 then 0 else positions.(Int.min (n - 1) (i * n / size))
+    in
     (* Boundaries must stay strictly increasing and leave room for the
        remaining buckets; clamp between the previous boundary + 1 and the
        highest value that still allows one position per remaining bucket. *)
     let lo = boundaries.(i - 1) + 1 in
     let hi = max_pos + 1 - (size - i) in
-    boundaries.(i) <- max lo (min quantile hi)
+    boundaries.(i) <- Int.max lo (Int.min quantile hi)
   done;
   { size; max_pos; boundaries; uniform_width = None }
 
@@ -68,7 +70,7 @@ let bucket t pos =
     invalid_arg
       (Printf.sprintf "Grid.bucket: position %d outside [0, %d]" pos t.max_pos);
   match t.uniform_width with
-  | Some w -> min (pos / w) (t.size - 1)
+  | Some w -> Int.min (pos / w) (t.size - 1)
   | None ->
     (* Largest i with boundaries.(i) <= pos. *)
     let lo = ref 0 and hi = ref t.size in
@@ -88,7 +90,7 @@ let cells t = t.size * t.size
 
 let index t ~i ~j = (i * t.size) + j
 
-let on_diagonal ~i ~j = i = j
+let on_diagonal ~i ~j = Int.equal i j
 
 let is_uniform t = t.uniform_width <> None
 
@@ -97,12 +99,14 @@ let compatible a b =
      width but different max_pos still bucket the tail positions
      differently (the last boundary is clamped to max_pos + 1), so cell
      coordinates would not refer to the same position ranges. *)
-  a.size = b.size
-  && a.max_pos = b.max_pos
+  Int.equal a.size b.size
+  && Int.equal a.max_pos b.max_pos
   &&
   match (a.uniform_width, b.uniform_width) with
-  | Some wa, Some wb -> wa = wb
-  | None, None | Some _, None | None, Some _ -> a.boundaries = b.boundaries
+  | Some wa, Some wb -> Int.equal wa wb
+  | None, None | Some _, None | None, Some _ ->
+    Int.equal (Array.length a.boundaries) (Array.length b.boundaries)
+    && Array.for_all2 Int.equal a.boundaries b.boundaries
 
 let iter_upper t f =
   for i = 0 to t.size - 1 do

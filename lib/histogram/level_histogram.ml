@@ -24,7 +24,7 @@ let feed b l =
   b.b_counts.(l) <- b.b_counts.(l) +. 1.0;
   if l > b.b_max then b.b_max <- l
 
-let finish b = { counts = Array.sub b.b_counts 0 (max 1 (b.b_max + 1)) }
+let finish b = { counts = Array.sub b.b_counts 0 (Int.max 1 (b.b_max + 1)) }
 
 let of_levels doc nodes =
   let b = builder () in
@@ -47,13 +47,16 @@ let child_fraction ~anc ~desc =
       for ld = la + 1 to max_level desc do
         let cd = count_at desc ld in
         pairs_all := !pairs_all +. (ca *. cd);
-        if ld = la + 1 then pairs_child := !pairs_child +. (ca *. cd)
+        if Int.equal ld (la + 1) then pairs_child := !pairs_child +. (ca *. cd)
       done
   done;
   if !pairs_all <= 0.0 then 1.0 else !pairs_child /. !pairs_all
 
 let storage_bytes t =
-  4 * Array.fold_left (fun acc c -> if c <> 0.0 then acc + 1 else acc) 0 t.counts
+  4
+  * Array.fold_left
+      (fun acc c -> if not (Float.equal c 0.0) then acc + 1 else acc)
+      0 t.counts
 
 let counts t = Array.copy t.counts
 

@@ -20,7 +20,7 @@ let build doc ~grid pred =
       let l = Document.level doc v in
       buckets.(c) <-
         (match buckets.(c) with
-        | (l', k) :: rest when l' = l -> (l', k +. 1.0) :: rest
+        | (l', k) :: rest when Int.equal l' l -> (l', k +. 1.0) :: rest
         | rest -> (l, 1.0) :: rest))
     (Predicate.matching_nodes doc pred);
   let cells =
@@ -34,7 +34,9 @@ let build doc ~grid pred =
             Hashtbl.replace tbl l (cur +. k))
           lst;
         Hashtbl.fold (fun l k acc -> (l, k) :: acc) tbl []
-        |> List.sort compare |> Array.of_list)
+        |> List.sort (fun (l1, k1) (l2, k2) ->
+               match Int.compare l1 l2 with 0 -> Float.compare k1 k2 | c -> c)
+        |> Array.of_list)
       buckets
   in
   { grid; cells }
@@ -65,7 +67,8 @@ let child_pair_fraction t ~anc_cell:(ai, aj) ~desc ~desc_cell:(di, dj) =
           (fun (ld, cd) ->
             if ld > la then begin
               all_pairs := !all_pairs +. (ca *. cd);
-              if ld = la + 1 then child_pairs := !child_pairs +. (ca *. cd)
+              if Int.equal ld (la + 1) then
+                child_pairs := !child_pairs +. (ca *. cd)
             end)
           desc_levels)
       anc_levels;

@@ -96,7 +96,10 @@ let population doc ~grid =
 let copy t =
   { grid = t.grid; counts = Array.copy t.counts; total = t.total; version = 0 }
 
-let equal a b = Grid.compatible a.grid b.grid && a.counts = b.counts
+let equal a b =
+  Grid.compatible a.grid b.grid
+  && Int.equal (Array.length a.counts) (Array.length b.counts)
+  && Array.for_all2 Float.equal a.counts b.counts
 
 let map2 f a b =
   if not (Grid.compatible a.grid b.grid) then
@@ -117,7 +120,7 @@ let iter_nonzero t f =
   for i = 0 to g - 1 do
     for j = i to g - 1 do
       let v = t.counts.(Grid.index t.grid ~i ~j) in
-      if v <> 0.0 then f ~i ~j v
+      if not (Float.equal v 0.0) then f ~i ~j v
     done
   done
 
@@ -160,7 +163,7 @@ let pp_heatmap ppf t =
         if j < i then ' '
         else begin
           let v = t.counts.(Grid.index t.grid ~i ~j) in
-          if v = 0.0 then '-'
+          if Float.equal v 0.0 then '-'
           else if denom <= 0.0 then '.'
           else begin
             let share = Float.abs v /. denom in

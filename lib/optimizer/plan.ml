@@ -38,7 +38,8 @@ let induced_flat f ids =
           | None -> ()
           | Some p ->
             let axis =
-              if f.Pattern.parents.(id) = p then f.Pattern.axes.(id) else Pattern.Descendant
+              if Int.equal f.Pattern.parents.(id) p then f.Pattern.axes.(id)
+              else Pattern.Descendant
             in
             let cur = try Hashtbl.find children p with Not_found -> [] in
             Hashtbl.replace children p ((axis, id) :: cur))
@@ -46,7 +47,7 @@ let induced_flat f ids =
       let rec build id =
         let edges =
           (try Hashtbl.find children id with Not_found -> [])
-          |> List.sort (fun (_, a) (_, b) -> compare a b)
+          |> List.sort (fun (_, a) (_, b) -> Int.compare a b)
           |> List.map (fun (axis, c) -> (axis, build c))
         in
         Pattern.node ~edges f.Pattern.preds.(id)
@@ -68,7 +69,7 @@ let enumerate pattern =
       let arr = Array.of_list order in
       let prefixes =
         List.init
-          (max 0 (n - 1))
+          (Int.max 0 (n - 1))
           (fun k ->
             let ids = Array.to_list (Array.sub arr 0 (k + 2)) in
             match induced_flat f ids with Some p -> p | None -> assert false)
@@ -83,7 +84,7 @@ let enumerate pattern =
             || induced_flat f candidate <> None
           in
           if connected then
-            extend candidate (List.filter (fun u -> u <> v) remaining))
+            extend candidate (List.filter (fun u -> not (Int.equal u v)) remaining))
         remaining
   in
   extend [] all;

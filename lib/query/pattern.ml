@@ -53,9 +53,13 @@ let flatten pattern =
 
 let rec equal a b =
   Predicate.equal a.pred b.pred
-  && List.length a.edges = List.length b.edges
+  && List.compare_lengths a.edges b.edges = 0
   && List.for_all2
-       (fun (ax1, c1) (ax2, c2) -> ax1 = ax2 && equal c1 c2)
+       (fun (ax1, c1) (ax2, c2) ->
+         (match (ax1, ax2) with
+         | Child, Child | Descendant, Descendant -> true
+         | (Child | Descendant), _ -> false)
+         && equal c1 c2)
        a.edges b.edges
 
 let axis_string = function Child -> "/" | Descendant -> "//"

@@ -1,0 +1,225 @@
+(* Semantic analyzer for twig patterns (see pattern_check.mli).
+
+   The analysis is conservative: a diagnosis of Unsat is a proof of
+   emptiness (each rule only fires on a genuinely impossible combination),
+   while silence means "could not prove anything", never "satisfiable". *)
+
+type severity = Unsat | Warn
+
+type diag = {
+  node : int;
+  rule : string;
+  severity : severity;
+  message : string;
+}
+
+let pp ppf d =
+  Format.fprintf ppf "node %d [%s] %s%s" d.node d.rule d.message
+    (match d.severity with Unsat -> " (answer size is 0)" | Warn -> "")
+
+let to_string diags =
+  String.concat "\n" (List.map (Format.asprintf "%a" pp) diags)
+
+let unsatisfiable diags =
+  List.exists (fun d -> match d.severity with Unsat -> true | Warn -> false) diags
+
+(* --- Predicate-level analysis ------------------------------------------ *)
+
+(* Flatten the conjunctive spine: And (a, And (b, c)) -> [a; b; c].  Or /
+   Not subtrees stay opaque conjuncts and are analyzed recursively. *)
+let rec conjuncts p acc =
+  match p with
+  | Predicate.And (a, b) -> conjuncts a (conjuncts b acc)
+  | p -> p :: acc
+
+let contains ~sub text =
+  Predicate.Substring.matches (Predicate.Substring.make sub) text
+
+let prefix_compatible p1 p2 =
+  String.starts_with ~prefix:p1 p2 || String.starts_with ~prefix:p2 p1
+
+(* A provable contradiction between two conjuncts of the same node. *)
+let conflict a b =
+  let open Predicate in
+  match (a, b) with
+  | Tag x, Tag y when not (String.equal x y) ->
+    Some (Printf.sprintf "a node cannot carry both tag=%s and tag=%s" x y)
+  | Text_eq x, Text_eq y when not (String.equal x y) ->
+    Some (Printf.sprintf "text cannot equal both %S and %S" x y)
+  | Level_eq x, Level_eq y when not (Int.equal x y) ->
+    Some (Printf.sprintf "level cannot equal both %d and %d" x y)
+  | Attr_eq (k1, v1), Attr_eq (k2, v2)
+    when String.equal k1 k2 && not (String.equal v1 v2) ->
+    Some (Printf.sprintf "attribute %s cannot equal both %S and %S" k1 v1 v2)
+  | (Text_prefix p, Text_eq v | Text_eq v, Text_prefix p)
+    when not (String.starts_with ~prefix:p v) ->
+    Some (Printf.sprintf "text %S does not start with %S" v p)
+  | (Text_suffix s, Text_eq v | Text_eq v, Text_suffix s)
+    when not (String.ends_with ~suffix:s v) ->
+    Some (Printf.sprintf "text %S does not end with %S" v s)
+  | (Text_contains s, Text_eq v | Text_eq v, Text_contains s)
+    when not (contains ~sub:s v) ->
+    Some (Printf.sprintf "text %S does not contain %S" v s)
+  | Text_prefix p1, Text_prefix p2 when not (prefix_compatible p1 p2) ->
+    Some
+      (Printf.sprintf "prefixes %S and %S are incompatible (neither extends \
+                       the other)" p1 p2)
+  | x, Not y when Predicate.equal x y ->
+    Some (Printf.sprintf "%s contradicts its own negation" (Predicate.name x))
+  | Not y, x when Predicate.equal x y ->
+    Some (Printf.sprintf "%s contradicts its own negation" (Predicate.name x))
+  | _ -> None
+
+let rec first_some f = function
+  | [] -> None
+  | x :: rest -> ( match f x with Some _ as r -> r | None -> first_some f rest)
+
+let rec pairs_first_some f = function
+  | [] -> None
+  | x :: rest -> (
+    match first_some (fun y -> f x y) rest with
+    | Some _ as r -> r
+    | None -> pairs_first_some f rest)
+
+(* [(rule, message)] proving the predicate matches no node, if we can.
+   [tag_absent] answers "is this tag provably absent from the document?". *)
+let rec empty_reason ~tag_absent p =
+  match p with
+  | Predicate.Or (a, b) -> (
+    match (empty_reason ~tag_absent a, empty_reason ~tag_absent b) with
+    | Some (ra, ma), Some (_, mb) ->
+      Some (ra, Printf.sprintf "every disjunct is unsatisfiable: %s; %s" ma mb)
+    | (Some _ | None), _ -> None)
+  | p -> (
+    let cs = conjuncts p [] in
+    let single c =
+      match c with
+      | Predicate.Level_eq l when l < 0 ->
+        Some ("unsat-range", Printf.sprintf "level %d is negative" l)
+      | Predicate.Tag t when tag_absent t ->
+        Some
+          ( "unknown-tag",
+            Printf.sprintf "tag %S does not occur in the document" t )
+      | Predicate.Not Predicate.True ->
+        Some ("contradiction", "¬true matches nothing")
+      | Predicate.Or _ as o -> empty_reason ~tag_absent o
+      | _ -> None
+    in
+    match first_some single cs with
+    | Some _ as r -> r
+    | None ->
+      pairs_first_some
+        (fun a b ->
+          match conflict a b with
+          | Some msg -> Some ("contradiction", msg)
+          | None -> None)
+        cs)
+
+(* First level pinned by the node's conjuncts, if any. *)
+let pinned_level p =
+  first_some
+    (function Predicate.Level_eq l -> Some l | _ -> None)
+    (conjuncts p [])
+
+(* Tags pinned by the node's conjuncts (for non-exhaustive schema warnings). *)
+let pinned_tags p =
+  List.filter_map
+    (function Predicate.Tag t -> Some t | _ -> None)
+    (conjuncts p [])
+
+(* --- Pattern walk ------------------------------------------------------ *)
+
+let axis_name = function
+  | Pattern.Child -> "child (/)"
+  | Pattern.Descendant -> "descendant (//)"
+
+let same_axis a b =
+  match (a, b) with
+  | Pattern.Child, Pattern.Child | Pattern.Descendant, Pattern.Descendant ->
+    true
+  | (Pattern.Child | Pattern.Descendant), _ -> false
+
+let check ?known_tags ?(tags_exhaustive = true) pat =
+  let tag_known t =
+    match known_tags with
+    | None -> true
+    | Some tags -> List.exists (String.equal t) tags
+  in
+  let tag_absent t = tags_exhaustive && not (tag_known t) in
+  let diags = ref [] in
+  let add node rule severity message =
+    diags := { node; rule; severity; message } :: !diags
+  in
+  let check_node id (t : Pattern.t) =
+    (match empty_reason ~tag_absent t.Pattern.pred with
+    | Some (rule, message) -> add id rule Unsat message
+    | None -> ());
+    (* Tags outside a non-exhaustive schema: can't prove emptiness, but
+       the summary has no histogram for them. *)
+    if not tags_exhaustive then
+      List.iter
+        (fun tag ->
+          if not (tag_known tag) then
+            add id "unknown-tag" Warn
+              (Printf.sprintf
+                 "tag %S is outside the summary's schema (no histogram; \
+                  built on demand or failing for loaded summaries)"
+                 tag))
+        (pinned_tags t.Pattern.pred);
+    (* Duplicate edges: same axis, structurally equal subtree. *)
+    let rec dup_scan = function
+      | [] -> ()
+      | (axis, sub) :: rest ->
+        if
+          List.exists
+            (fun (axis', sub') -> same_axis axis axis' && Pattern.equal sub sub')
+            rest
+        then
+          add id "duplicate-edge" Warn
+            (Printf.sprintf
+               "two identical %s edges to %s — each match is counted once \
+                per edge"
+               (axis_name axis)
+               (Pattern.to_string sub));
+        dup_scan rest
+    in
+    dup_scan t.Pattern.edges
+  in
+  let check_edge ~parent_pred ~parent_id:_ axis (child : Pattern.t) child_id =
+    let lp = pinned_level parent_pred in
+    let lc = pinned_level child.Pattern.pred in
+    (match lc with
+    | Some l when l < 1 && l >= 0 ->
+      add child_id "level-edge" Unsat
+        (Printf.sprintf
+           "level %d on a non-root pattern node (any matched node has an \
+            ancestor, so its level is >= 1)"
+           l)
+    | Some _ | None -> ());
+    match (lp, lc, axis) with
+    | Some lp, Some lc, Pattern.Child when not (Int.equal lc (lp + 1)) ->
+      add child_id "level-edge" Unsat
+        (Printf.sprintf
+           "child edge needs level %d directly below level %d" lc lp)
+    | Some lp, Some lc, Pattern.Descendant when lc <= lp ->
+      add child_id "level-edge" Unsat
+        (Printf.sprintf
+           "descendant edge needs level %d strictly below level %d" lc lp)
+    | _ -> ()
+  in
+  (* Pre-order ids, matching Pattern.flatten. *)
+  let rec go id t =
+    check_node id t;
+    List.fold_left
+      (fun next (axis, child) ->
+        check_edge ~parent_pred:t.Pattern.pred ~parent_id:id axis child next;
+        go next child)
+      (id + 1) t.Pattern.edges
+  in
+  ignore (go 0 pat);
+  List.sort
+    (fun a b ->
+      match Int.compare a.node b.node with
+      | 0 -> String.compare a.rule b.rule
+      | c -> c)
+    (List.rev !diags)

@@ -16,7 +16,7 @@ let skip_ws c =
 
 let looking_at c s =
   let n = String.length s in
-  c.pos + n <= String.length c.input && String.sub c.input c.pos n = s
+  c.pos + n <= String.length c.input && String.equal (String.sub c.input c.pos n) s
 
 let eat c s = if looking_at c s then c.pos <- c.pos + String.length s else fail c (Printf.sprintf "expected %S" s)
 
@@ -32,7 +32,7 @@ let parse_name c =
   while (not (eof c)) && is_name_char (peek c) do
     c.pos <- c.pos + 1
   done;
-  if c.pos = start then fail c "expected a name";
+  if Int.equal c.pos start then fail c "expected a name";
   String.sub c.input start (c.pos - start)
 
 let parse_literal c =
@@ -41,7 +41,7 @@ let parse_literal c =
   if quote <> '\'' && quote <> '"' then fail c "expected a quoted literal";
   c.pos <- c.pos + 1;
   let start = c.pos in
-  while (not (eof c)) && peek c <> quote do
+  while (not (eof c)) && not (Char.equal (peek c) quote) do
     c.pos <- c.pos + 1
   done;
   if eof c then fail c "unterminated literal";

@@ -15,11 +15,11 @@ type t =
 
 let starts_with ~prefix s =
   String.length s >= String.length prefix
-  && String.sub s 0 (String.length prefix) = prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
 
 let ends_with ~suffix s =
   let ls = String.length s and lx = String.length suffix in
-  ls >= lx && String.sub s (ls - lx) lx = suffix
+  ls >= lx && String.equal (String.sub s (ls - lx) lx) suffix
 
 (* Substring search with a precomputed KMP failure table: O(m) to build,
    O(n) per match, no per-offset String.sub allocation.  Compiled
@@ -29,13 +29,13 @@ module Substring = struct
 
   let make pattern =
     let m = String.length pattern in
-    let failure = Array.make (max m 1) 0 in
+    let failure = Array.make (Int.max m 1) 0 in
     let k = ref 0 in
     for i = 1 to m - 1 do
-      while !k > 0 && pattern.[!k] <> pattern.[i] do
+      while !k > 0 && not (Char.equal pattern.[!k] pattern.[i]) do
         k := failure.(!k - 1)
       done;
-      if pattern.[!k] = pattern.[i] then incr k;
+      if Char.equal pattern.[!k] pattern.[i] then incr k;
       failure.(i) <- !k
     done;
     { pattern; failure }
@@ -51,11 +51,11 @@ module Substring = struct
       let i = ref 0 in
       let found = ref false in
       while (not !found) && !i < n do
-        while !k > 0 && t.pattern.[!k] <> s.[!i] do
+        while !k > 0 && not (Char.equal t.pattern.[!k] s.[!i]) do
           k := t.failure.(!k - 1)
         done;
-        if t.pattern.[!k] = s.[!i] then incr k;
-        if !k = m then found := true;
+        if Char.equal t.pattern.[!k] s.[!i] then incr k;
+        if Int.equal !k m then found := true;
         incr i
       done;
       !found
@@ -76,7 +76,7 @@ let rec eval p doc v =
     match List.assoc_opt k (Document.attrs doc v) with
     | Some x -> String.equal x value
     | None -> false)
-  | Level_eq l -> Document.level doc v = l
+  | Level_eq l -> Int.equal (Document.level doc v) l
   | And (a, b) -> eval a doc v && eval b doc v
   | Or (a, b) -> eval a doc v || eval b doc v
   | Not a -> not (eval a doc v)
@@ -227,7 +227,7 @@ let rec equal a b =
   | Text_contains x, Text_contains y ->
     String.equal x y
   | Attr_eq (k1, v1), Attr_eq (k2, v2) -> String.equal k1 k2 && String.equal v1 v2
-  | Level_eq x, Level_eq y -> x = y
+  | Level_eq x, Level_eq y -> Int.equal x y
   | And (x1, y1), And (x2, y2) | Or (x1, y1), Or (x2, y2) ->
     equal x1 x2 && equal y1 y2
   | Not x, Not y -> equal x y

@@ -102,7 +102,7 @@ let of_forest docs = of_elem (Elem.make ~children:docs dummy_root_tag)
 let size t = Array.length t.tag_ids
 
 let has_dummy_root t =
-  Array.length t.tag_ids > 0 && t.tag_names.(t.tag_ids.(0)) = dummy_root_tag
+  Array.length t.tag_ids > 0 && String.equal t.tag_names.(t.tag_ids.(0)) dummy_root_tag
 let max_pos t = t.max_pos
 let tag t v = t.tag_names.(t.tag_ids.(v))
 let tag_id t v = t.tag_ids.(v)
@@ -118,7 +118,7 @@ let subtree_size t v = t.subtree_lasts.(v) - v + 1
 let is_ancestor t ~anc ~desc =
   t.starts.(anc) < t.starts.(desc) && t.ends.(desc) < t.ends.(anc)
 
-let is_parent t ~parent:p ~child = t.parents.(child) = p
+let is_parent t ~parent:p ~child = Int.equal t.parents.(child) p
 
 let document_roots_impl t =
   if Array.length t.tag_ids = 0 then []

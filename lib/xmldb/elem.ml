@@ -13,7 +13,7 @@ let leaf ?attrs tag text = make ?attrs ~text tag
 let rec size t = List.fold_left (fun acc c -> acc + size c) 1 t.children
 
 let rec depth t =
-  1 + List.fold_left (fun acc c -> max acc (depth c)) 0 t.children
+  1 + List.fold_left (fun acc c -> Int.max acc (depth c)) 0 t.children
 
 let rec fold f acc t = List.fold_left (fold f) (f acc t) t.children
 
@@ -35,9 +35,11 @@ let attr t name = List.assoc_opt name t.attrs
 
 let rec equal a b =
   String.equal a.tag b.tag
-  && a.attrs = b.attrs
+  && List.equal
+       (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && String.equal v1 v2)
+       a.attrs b.attrs
   && String.equal a.text b.text
-  && List.length a.children = List.length b.children
+  && List.compare_lengths a.children b.children = 0
   && List.for_all2 equal a.children b.children
 
 let pp ppf t =

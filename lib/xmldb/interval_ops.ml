@@ -27,7 +27,7 @@ let feed s v ~in_set =
   let nearest = if s.depth > 0 then s.open_nodes.(s.depth - 1) else -1 in
   if in_set then begin
     if s.depth > 0 then s.nesting <- true;
-    if s.depth = Array.length s.open_ends then begin
+    if Int.equal s.depth (Array.length s.open_ends) then begin
       let grow a =
         let bigger = Array.make (2 * Array.length a) 0 in
         Array.blit a 0 bigger 0 s.depth;
@@ -72,5 +72,5 @@ let count_nesting_pairs doc nodes =
 let max_nesting_depth doc nodes =
   let best = ref 0 in
   sweep doc nodes ~on_open:(fun stack _v ->
-      best := max !best (Stack.length stack + 1));
+      best := Int.max !best (Stack.length stack + 1));
   !best

@@ -41,12 +41,12 @@ let skip_ws c =
   done
 
 let expect c ch =
-  if peek c = ch then advance c
+  if Char.equal (peek c) ch then advance c
   else fail c (Printf.sprintf "expected %C, found %C" ch (peek c))
 
 let looking_at c s =
   let n = String.length s in
-  c.pos + n <= String.length c.input && String.sub c.input c.pos n = s
+  c.pos + n <= String.length c.input && String.equal (String.sub c.input c.pos n) s
 
 let skip_string c s =
   if looking_at c s then
@@ -140,7 +140,7 @@ let parse_attr_value c =
   let b = Buffer.create 16 in
   let rec go () =
     if eof c then fail c "unterminated attribute value"
-    else if peek c = quote then advance c
+    else if Char.equal (peek c) quote then advance c
     else if peek c = '&' then begin
       advance c;
       Buffer.add_string b (parse_entity c);
@@ -195,7 +195,7 @@ let rec parse_content c tag attrs =
         skip_string c "</";
         skip_ws c;
         let close = parse_name c in
-        if close <> tag then
+        if not (String.equal close tag) then
           fail c (Printf.sprintf "mismatched tags: <%s> closed by </%s>" tag close);
         skip_ws c;
         expect c '>'

@@ -616,6 +616,114 @@ let test_repl_equidepth_summarize () =
   Alcotest.(check bool) "equidepth flag" true
     (contains "equi-depth" (run "summarize 12 equidepth"))
 
+(* --- Static analysis before estimation --------------------------------- *)
+
+(* Random descendant/child twig over the generator's tag pool, so patterns
+   mix present and absent tags against random documents. *)
+let random_pattern rng =
+  let tags = [| "a"; "b"; "c"; "d"; "e" |] in
+  let rec gen depth =
+    let pred = tagp (Xmlest.Splitmix.choose rng tags) in
+    if depth >= 2 then Xmlest.Pattern.leaf pred
+    else begin
+      let edges =
+        List.init
+          (Xmlest.Splitmix.int rng 3)
+          (fun _ ->
+            let axis =
+              if Int.equal (Xmlest.Splitmix.int rng 2) 0 then
+                Xmlest.Pattern.Descendant
+              else Xmlest.Pattern.Child
+            in
+            (axis, gen (depth + 1)))
+      in
+      Xmlest.Pattern.node ~edges pred
+    end
+  in
+  gen 0
+
+let doc_and_pattern_arbitrary =
+  QCheck.make
+    ~print:(fun (elem, _, p) ->
+      Format.asprintf "%s over %a" (Xmlest.Pattern.to_string p) Xmlest.Elem.pp
+        elem)
+    (fun st ->
+      let elem = Test_util.elem_gen ~max_nodes:40 () st in
+      let rng = Xmlest.Splitmix.create (Random.State.bits st) in
+      (elem, Xmlest.Document.of_elem elem, random_pattern rng))
+
+let checked_summary doc =
+  Xmlest.Summary.build
+    ~grid_size:(Int.min 6 (Xmlest.Document.max_pos doc + 1))
+    doc
+    (List.filter_map
+       (fun t -> if String.equal t "#root" then None else Some (tagp t))
+       (Xmlest.Document.distinct_tags doc))
+
+let prop_clean_patterns_estimate_identically =
+  QCheck.Test.make ~count:60
+    ~name:"estimate_checked = estimate on check-clean patterns"
+    doc_and_pattern_arbitrary
+    (fun (_, doc, pattern) ->
+      let s = checked_summary doc in
+      let est, diags = Xmlest.Summary.estimate_checked s pattern in
+      if Xmlest.Pattern_check.unsatisfiable diags then
+        (* the proof must be honored with an exact zero *)
+        Float.equal est 0.0
+      else
+        (* diagnostics-free (or warn-only) estimation is untouched *)
+        Float.equal est (Xmlest.Summary.estimate s pattern))
+
+let prop_contradiction_zeroes_estimate =
+  QCheck.Test.make ~count:60
+    ~name:"contradictory conjunction => (0.0, unsat diagnostic)"
+    doc_and_pattern_arbitrary
+    (fun (_, doc, pattern) ->
+      let s = checked_summary doc in
+      (* poison the root: no node carries two different tags *)
+      let poisoned =
+        {
+          pattern with
+          Xmlest.Pattern.pred =
+            Xmlest.Predicate.And
+              (Xmlest.Predicate.Tag "a", Xmlest.Predicate.Tag "b");
+        }
+      in
+      let est, diags = Xmlest.Summary.estimate_checked s poisoned in
+      Float.equal est 0.0 && Xmlest.Pattern_check.unsatisfiable diags)
+
+let test_check_document_vs_loaded_schema () =
+  let _, s = staff_summary () in
+  let pattern = Xmlest.Pattern_parser.pattern_exn "//manager//zzz" in
+  (* with the document, the tag set is exhaustive: absence is a proof *)
+  let diags = Xmlest.Summary.check s pattern in
+  Alcotest.(check bool) "absent tag is unsat" true
+    (Xmlest.Pattern_check.unsatisfiable diags);
+  let est, _ = Xmlest.Summary.estimate_checked s pattern in
+  check Alcotest.(float 0.0) "estimate short-circuits to zero" 0.0 est;
+  (* a loaded summary has no document: only warn about unknown tags *)
+  let loaded =
+    match Xmlest.Summary.of_string (Xmlest.Summary.to_string s) with
+    | Ok l -> l
+    | Error e -> Alcotest.fail e
+  in
+  let diags = Xmlest.Summary.check loaded pattern in
+  Alcotest.(check bool) "diagnosed" false (List.is_empty diags);
+  Alcotest.(check bool) "but only as a warning" false
+    (Xmlest.Pattern_check.unsatisfiable diags)
+
+let test_repl_check_command () =
+  let state = Xmlest.Repl.create () in
+  let run cmd = Xmlest.Repl.execute state cmd in
+  ignore (run "gen staff");
+  ignore (run "summarize");
+  Alcotest.(check bool) "clean query" true
+    (contains "no issues" (run "check //manager//employee"));
+  Alcotest.(check bool) "absent tag diagnosed" true
+    (contains "unknown-tag" (run "check //manager//zzz"));
+  Alcotest.(check bool) "estimate reports unsatisfiability" true
+    (contains "unsatisfiable" (run "estimate //manager//zzz"))
+
 let () =
   Alcotest.run "core"
     [
@@ -668,6 +776,14 @@ let () =
           Alcotest.test_case "equidepth summarize" `Quick test_repl_equidepth_summarize;
           Alcotest.test_case "hist command" `Quick test_repl_hist_command;
           Alcotest.test_case "catalog commands" `Quick test_repl_catalog_commands;
+        ] );
+      ( "static_analysis",
+        [
+          qcheck prop_clean_patterns_estimate_identically;
+          qcheck prop_contradiction_zeroes_estimate;
+          Alcotest.test_case "document vs loaded schema" `Quick
+            test_check_document_vs_loaded_schema;
+          Alcotest.test_case "repl check command" `Quick test_repl_check_command;
         ] );
       ( "end_to_end",
         [

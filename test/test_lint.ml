@@ -1,0 +1,173 @@
+(* Tests for the Parsetree linter (tools/lint): every rule fires on a
+   known-bad snippet at the expected line, stays silent on the idiomatic
+   replacement, and honors [lint: allow] suppressions; [lint_paths] walks
+   a scratch tree and renders findings in "file:line rule" form. *)
+
+open Xmlest_test_util
+module Lint = Xmlest_lint.Lint
+
+let check = Alcotest.check
+
+let lines_of ?(file = "lib/scratch/code.ml") rule src =
+  List.filter_map
+    (fun f -> if String.equal f.Lint.rule rule then Some f.Lint.line else None)
+    (Lint.lint_source ~file src)
+
+let lines = Alcotest.(list int)
+
+(* --- One test per rule ------------------------------------------------- *)
+
+let test_poly_compare () =
+  check lines "compare" [ 2 ]
+    (lines_of "poly-compare" "let x = 1\nlet f a b = compare a b\n");
+  check lines "min" [ 1 ] (lines_of "poly-compare" "let f a b = min a b\n");
+  check lines "max as function value" [ 1 ]
+    (lines_of "poly-compare" "let f l = List.fold_left max 0 l\n");
+  check lines "Hashtbl.hash" [ 1 ]
+    (lines_of "poly-compare" "let f x = Hashtbl.hash x\n");
+  check lines "monomorphic replacements pass" []
+    (lines_of "poly-compare"
+       "let f a b = Int.compare a b\nlet g = Float.max\nlet h = Int.min 3\n")
+
+let test_poly_eq () =
+  check lines "var = var" [ 1 ] (lines_of "poly-eq" "let f a b = a = b\n");
+  check lines "var <> var" [ 2 ]
+    (lines_of "poly-eq" "let f a b =\n  a <> b\n");
+  check lines "(=) as function value" [ 1 ]
+    (lines_of "poly-eq" "let f x l = List.exists ((=) x) l\n");
+  check lines "literal operand is exempt" []
+    (lines_of "poly-eq"
+       "let f x = x = 0\n\
+        let g l = l <> []\n\
+        let h o = o = None\n\
+        let i s = s = \"#root\"\n\
+        let j c = c = 'x'\n");
+  check lines "monomorphic equality passes" []
+    (lines_of "poly-eq" "let f a b = Int.equal a b && String.equal \"x\" \"y\"\n")
+
+let test_float_eq () =
+  check lines "float literal" [ 1 ] (lines_of "float-eq" "let f x = x = 1.0\n");
+  check lines "float literal on the left" [ 1 ]
+    (lines_of "float-eq" "let f x = 0.0 <> x\n");
+  check lines "reported as float-eq, not poly-eq" []
+    (lines_of "poly-eq" "let f x = x = 1.0\n");
+  check lines "Float.equal passes" []
+    (lines_of "float-eq" "let f x = Float.equal x 1.0\n")
+
+let test_partial () =
+  check lines "List.hd" [ 1 ] (lines_of "partial" "let f l = List.hd l\n");
+  check lines "List.tl" [ 1 ] (lines_of "partial" "let f l = List.tl l\n");
+  check lines "Option.get" [ 1 ] (lines_of "partial" "let f o = Option.get o\n");
+  check lines "matching on the shape passes" []
+    (lines_of "partial" "let f = function [] -> 0 | x :: _ -> x\n")
+
+let test_catch_all () =
+  check lines "try ... with _" [ 2 ]
+    (lines_of "catch-all" "let f g =\n  try g () with _ -> 0\n");
+  check lines "match ... exception _" [ 1 ]
+    (lines_of "catch-all" "let f g = match g () with exception _ -> 0 | n -> n\n");
+  check lines "named exception passes" []
+    (lines_of "catch-all" "let f g = try g () with Not_found -> 0\n")
+
+let test_obj () =
+  check lines "Obj.magic" [ 1 ] (lines_of "obj" "let f x = Obj.magic x\n");
+  check lines "Obj.repr" [ 1 ] (lines_of "obj" "let f x = Obj.repr x\n")
+
+let test_parse_error () =
+  check lines "unparsable implementation" [ 1 ]
+    (lines_of "parse-error" "let let = in\n");
+  check lines "mli parsed as an interface" [ 1 ]
+    (lines_of ~file:"lib/scratch/code.mli" "parse-error" "let x = 1\n");
+  check lines "well-formed mli passes" []
+    (lines_of ~file:"lib/scratch/code.mli" "parse-error" "val f : int -> int\n")
+
+(* --- Suppression ------------------------------------------------------- *)
+
+let test_suppression () =
+  check lines "same line" []
+    (lines_of "catch-all"
+       "let f g = try g () with _ -> 0 (* lint: allow catch-all *)\n");
+  check lines "preceding line" []
+    (lines_of "catch-all"
+       "let f g =\n  (* lint: allow catch-all *)\n  try g () with _ -> 0\n");
+  check lines "prose before the marker" []
+    (lines_of "catch-all"
+       "(* Marshal can raise anything on bad input. lint: allow catch-all *)\n\
+        let f g = try g () with _ -> 0\n");
+  check lines "suppression is per rule" [ 1 ]
+    (lines_of "poly-eq" "let f a b = a = b (* lint: allow catch-all *)\n");
+  check lines "suppression is per line" [ 4 ]
+    (lines_of "catch-all"
+       "let f g =\n\
+       \  (* lint: allow catch-all *)\n\
+       \  try g () with _ -> ignore\n\
+       \    (fun h -> try h () with _ -> 0)\n")
+
+(* --- Directory walk and rendering -------------------------------------- *)
+
+let write path content =
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc
+
+let test_scratch_tree () =
+  let dir = Filename.temp_dir "xmlest_lint" "" in
+  let libdir = Filename.concat dir "lib" in
+  Sys.mkdir libdir 0o755;
+  let bad = Filename.concat libdir "bad.ml" in
+  write bad "let f a b = compare a b\nlet g l = List.hd l\n";
+  write (Filename.concat libdir "good.ml") "let f = Int.compare\n";
+  write (Filename.concat libdir "good.mli") "val f : int -> int -> int\n";
+  let findings = Lint.lint_paths [ dir ] in
+  check Alcotest.bool "violations found" true (not (List.is_empty findings));
+  List.iter
+    (fun rule ->
+      check Alcotest.bool ("rule " ^ rule) true
+        (List.exists (fun f -> String.equal f.Lint.rule rule) findings))
+    [ "poly-compare"; "partial"; "missing-mli" ];
+  check Alcotest.bool "good.ml with its mli is clean" true
+    (List.for_all
+       (fun f -> not (Test_util.contains_substring f.Lint.file "good"))
+       findings);
+  List.iter
+    (fun f ->
+      let rendered = Format.asprintf "%a" Lint.pp_finding f in
+      let prefix = Printf.sprintf "%s:%d %s " f.Lint.file f.Lint.line f.Lint.rule in
+      check Alcotest.bool
+        ("rendered as file:line rule: " ^ rendered)
+        true
+        (String.starts_with ~prefix rendered))
+    findings;
+  List.iter (fun n -> Sys.remove (Filename.concat libdir n)) (Array.to_list (Sys.readdir libdir));
+  Sys.rmdir libdir;
+  Sys.rmdir dir
+
+let test_rules_documented () =
+  (* Every rule a test exercises is in the advertised rule table. *)
+  let advertised = List.map fst Lint.rules in
+  List.iter
+    (fun rule ->
+      check Alcotest.bool ("documented: " ^ rule) true
+        (List.exists (String.equal rule) advertised))
+    [ "poly-compare"; "poly-eq"; "float-eq"; "partial"; "catch-all"; "obj";
+      "missing-mli"; "parse-error" ]
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "poly-compare" `Quick test_poly_compare;
+          Alcotest.test_case "poly-eq" `Quick test_poly_eq;
+          Alcotest.test_case "float-eq" `Quick test_float_eq;
+          Alcotest.test_case "partial" `Quick test_partial;
+          Alcotest.test_case "catch-all" `Quick test_catch_all;
+          Alcotest.test_case "obj" `Quick test_obj;
+          Alcotest.test_case "parse-error" `Quick test_parse_error;
+          Alcotest.test_case "rule table" `Quick test_rules_documented;
+        ] );
+      ( "suppression",
+        [ Alcotest.test_case "lint: allow" `Quick test_suppression ] );
+      ( "walk",
+        [ Alcotest.test_case "scratch tree" `Quick test_scratch_tree ] );
+    ]

@@ -457,6 +457,115 @@ let prop_parse_print_roundtrip =
       let q = Xmlest.Pattern_parser.pattern_exn s in
       Xmlest.Pattern.equal p q)
 
+(* --- Pattern_check ------------------------------------------------------ *)
+
+let diag_rules ds = List.map (fun d -> d.Xmlest.Pattern_check.rule) ds
+let unsat = Xmlest.Pattern_check.unsatisfiable
+let pcheck = Xmlest.Pattern_check.check
+
+let test_check_contradictions () =
+  let open Xmlest.Predicate in
+  let diags = pcheck (Xmlest.Pattern.leaf (And (Tag "a", Tag "b"))) in
+  check Alcotest.(list string) "two tags" [ "contradiction" ] (diag_rules diags);
+  check Alcotest.bool "two tags unsat" true (unsat diags);
+  List.iter
+    (fun pred ->
+      check Alcotest.bool (name pred) true
+        (unsat (pcheck (Xmlest.Pattern.leaf pred))))
+    [
+      And (Text_eq "x", Text_eq "y");
+      And (Attr_eq ("k", "1"), Attr_eq ("k", "2"));
+      And (Tag "a", Not (Tag "a"));
+      And (Text_eq "conf/vldb", Text_prefix "journals");
+      And (Text_eq "alpha", Text_suffix "beta");
+      And (Text_eq "alpha", Text_contains "zzz");
+      And (Text_prefix "conf", Text_prefix "journals");
+      And (Level_eq 1, Level_eq 2);
+      Level_eq (-1);
+      Not True;
+    ];
+  List.iter
+    (fun pred ->
+      check
+        Alcotest.(list string)
+        ("clean: " ^ name pred)
+        [] (diag_rules (pcheck (Xmlest.Pattern.leaf pred))))
+    [
+      And (Tag "a", Text_eq "x");
+      And (Text_eq "conf/vldb", Text_prefix "conf");
+      And (Tag "a", Not (Tag "b"));
+      True;
+    ]
+
+let test_check_disjunctions () =
+  let open Xmlest.Predicate in
+  let dead = And (Tag "a", Tag "b") in
+  check Alcotest.bool "all branches dead" true
+    (unsat (pcheck (Xmlest.Pattern.leaf (Or (dead, Level_eq (-1))))));
+  check Alcotest.bool "one live branch" false
+    (unsat (pcheck (Xmlest.Pattern.leaf (Or (dead, Tag "c")))))
+
+let test_check_level_edges () =
+  let open Xmlest.Predicate in
+  let leaf = Xmlest.Pattern.leaf in
+  let node = Xmlest.Pattern.node in
+  let child p = (Xmlest.Pattern.Child, p) in
+  let desc p = (Xmlest.Pattern.Descendant, p) in
+  check Alcotest.bool "level 0 below an edge" true
+    (unsat (pcheck (node ~edges:[ child (leaf (Level_eq 0)) ] (Tag "a"))));
+  check Alcotest.bool "child level gap" true
+    (unsat
+       (pcheck
+          (node
+             ~edges:[ child (leaf (Level_eq 3)) ]
+             (And (Tag "a", Level_eq 1)))));
+  check Alcotest.bool "descendant not below" true
+    (unsat
+       (pcheck
+          (node
+             ~edges:[ desc (leaf (Level_eq 1)) ]
+             (And (Tag "a", Level_eq 2)))));
+  check
+    Alcotest.(list string)
+    "consistent levels pass" []
+    (diag_rules
+       (pcheck
+          (node
+             ~edges:[ child (leaf (Level_eq 2)) ]
+             (And (Tag "a", Level_eq 1)))))
+
+let test_check_unknown_tag () =
+  let p = (parse "//book//zzz").Xmlest.Pattern_parser.root in
+  let exhaustive = pcheck ~known_tags:[ "book"; "cite" ] p in
+  check Alcotest.(list string) "absent tag" [ "unknown-tag" ] (diag_rules exhaustive);
+  check Alcotest.bool "absent tag is a proof" true (unsat exhaustive);
+  check Alcotest.int "pre-order node id" 1
+    (List.hd exhaustive).Xmlest.Pattern_check.node;
+  let partial_schema =
+    pcheck ~known_tags:[ "book" ] ~tags_exhaustive:false p
+  in
+  check Alcotest.(list string) "outside schema" [ "unknown-tag" ]
+    (diag_rules partial_schema);
+  check Alcotest.bool "only a warning" false (unsat partial_schema);
+  check Alcotest.(list string) "no schema, no diagnostics" []
+    (diag_rules (pcheck p))
+
+let test_check_duplicate_edges () =
+  let dup = (parse "//faculty[.//TA][.//TA]").Xmlest.Pattern_parser.root in
+  let diags = pcheck dup in
+  check Alcotest.(list string) "duplicate" [ "duplicate-edge" ] (diag_rules diags);
+  check Alcotest.bool "duplicate is satisfiable" false (unsat diags);
+  check Alcotest.(list string) "distinct branches pass" []
+    (diag_rules (pcheck (parse "//faculty[.//TA][.//RA]").Xmlest.Pattern_parser.root))
+
+let test_check_rendering () =
+  let open Xmlest.Predicate in
+  let diags = pcheck (Xmlest.Pattern.leaf (And (Tag "a", Tag "b"))) in
+  check Alcotest.bool "0-proof spelled out" true
+    (Test_util.contains_substring
+       (Xmlest.Pattern_check.to_string diags)
+       "answer size is 0")
+
 let () =
   Alcotest.run "query"
     [
@@ -505,5 +614,15 @@ let () =
           Alcotest.test_case "agrees with exact engine" `Quick
             test_parse_matches_exact_engine;
           qcheck prop_parse_print_roundtrip;
+        ] );
+      ( "pattern_check",
+        [
+          Alcotest.test_case "contradictory conjunctions" `Quick
+            test_check_contradictions;
+          Alcotest.test_case "disjunctions" `Quick test_check_disjunctions;
+          Alcotest.test_case "level edges" `Quick test_check_level_edges;
+          Alcotest.test_case "unknown tags" `Quick test_check_unknown_tag;
+          Alcotest.test_case "duplicate edges" `Quick test_check_duplicate_edges;
+          Alcotest.test_case "rendering" `Quick test_check_rendering;
         ] );
     ]

@@ -1,0 +1,47 @@
+(** Project linter: parses OCaml sources with compiler-libs ([Parse] on a
+    lexbuf) and walks the Parsetree with [Ast_iterator], enforcing the
+    project rule set (see {!rules}):
+
+    - [poly-compare]: no bare [compare]/[min]/[max] (or their [Stdlib.]
+      spellings) and no [Hashtbl.hash] — monomorphic comparators
+      ([Int.compare], [String.equal], ...) are required on hot paths.
+    - [poly-eq]: no [=]/[<>] where neither operand is a literal constant —
+      the polymorphic-equality analogue of [poly-compare].
+    - [float-eq]: no [=]/[<>] against a float literal ([Float.equal] or an
+      explicit tolerance instead).
+    - [partial]: no [List.hd]/[List.tl]/[Option.get].
+    - [catch-all]: no [try ... with _ ->] and no [exception _ ->] match
+      case — handlers must name the exceptions they expect.
+    - [obj]: no use of the [Obj] module.
+    - [missing-mli]: every [.ml] under a [lib] directory needs an [.mli].
+
+    Findings can be suppressed with a [(* lint: allow <rule> ... *)]
+    comment on the same line or the line directly above. *)
+
+type finding = {
+  file : string;
+  line : int;
+  rule : string;
+  message : string;
+}
+
+val rules : (string * string) list
+(** Rule name, one-line description — the linter's rule table. *)
+
+val lint_source : file:string -> string -> finding list
+(** Lint one compilation unit given its source text.  [file] selects
+    implementation vs interface syntax (by extension) and is echoed in the
+    findings; suppression comments are honored.  A file that does not
+    parse yields a single [parse-error] finding. *)
+
+val lint_file : string -> finding list
+(** {!lint_source} on a file's contents ([Sys_error] findings on
+    unreadable files rather than exceptions). *)
+
+val lint_paths : string list -> finding list
+(** Walk files and directory trees, linting every [.ml]/[.mli] found and
+    checking the [missing-mli] rule for [.ml] files under a [lib]
+    directory.  Findings are sorted by file then line. *)
+
+val pp_finding : Format.formatter -> finding -> unit
+(** Renders ["file:line rule message"] — the executable's output format. *)

@@ -1,0 +1,20 @@
+(* xmlest-lint: lint the given files/directories against the project rule
+   set; print one "file:line rule message" line per finding and exit
+   nonzero when any finding survives suppression.  Wired into the build as
+   `dune build @lint`. *)
+
+module Lint = Xmlest_lint.Lint
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: (_ :: _ as paths) ->
+    let findings = Lint.lint_paths paths in
+    List.iter (fun f -> Format.printf "%a@." Lint.pp_finding f) findings;
+    if not (List.is_empty findings) then begin
+      Format.eprintf "lint: %d finding%s@." (List.length findings)
+        (if List.compare_length_with findings 1 = 0 then "" else "s");
+      exit 1
+    end
+  | _ ->
+    Format.eprintf "usage: lint_main <file-or-dir>...@.";
+    exit 2
