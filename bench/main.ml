@@ -4,8 +4,9 @@
    estimation-cost claims.
 
    Usage: main.exe [section ...]
-   Sections: table1 table2 table3 table4 fig11 fig12 twig ablation
-             theorems timing caching (default: all). *)
+   Sections: table1 table2 table3 table4 fig11 fig12 twig datasets
+             accuracy construction maintenance ablation theorems timing
+             caching (default: all). *)
 
 open Xmlest_core
 
@@ -44,7 +45,7 @@ let table1 () =
   let rows =
     List.map2
       (fun (name, pred) (pname, pcount, poverlap) ->
-        assert (name = pname);
+        assert (String.equal name pname);
         let nodes = Xmlest.Predicate.matching_nodes doc pred in
         let overlap =
           match poverlap with
@@ -182,7 +183,7 @@ let table3 () =
   let rows =
     List.map2
       (fun (name, pred) (pname, pcount, poverlap) ->
-        assert (name = pname);
+        assert (String.equal name pname);
         let nodes = Xmlest.Predicate.matching_nodes doc pred in
         [
           name;
@@ -528,11 +529,15 @@ let ablation () =
       ranked
   in
   Report.table ([ "plan (node order)"; "estimated cost"; "actual cost" ] :: rows);
-  let best = List.hd ranked in
+  let best =
+    match ranked with
+    | b :: _ -> b
+    | [] -> failwith "plan bench: optimizer returned no plans"
+  in
   let best_actual = Xmlest.Optimizer.actual_cost doc best.Xmlest.Optimizer.plan in
   let optimal =
     List.fold_left
-      (fun acc c -> min acc (Xmlest.Optimizer.actual_cost doc c.Xmlest.Optimizer.plan))
+      (fun acc c -> Int.min acc (Xmlest.Optimizer.actual_cost doc c.Xmlest.Optimizer.plan))
       max_int ranked
   in
   Report.note "chosen plan actual cost %d vs true optimum %d" best_actual optimal;
@@ -561,16 +566,20 @@ let ablation () =
             (fun c -> Xmlest.Optimizer.actual_cost doc c.Xmlest.Optimizer.plan)
             ranked
         in
-        let chosen = List.hd actuals in
-        let best_possible = List.fold_left min max_int actuals in
-        let worst = List.fold_left max 0 actuals in
+        let chosen =
+          match actuals with
+          | c :: _ -> c
+          | [] -> failwith "plan bench: query has no join plans"
+        in
+        let best_possible = List.fold_left Int.min max_int actuals in
+        let worst = List.fold_left Int.max 0 actuals in
         [
           ds; query;
           string_of_int chosen;
           string_of_int best_possible;
           string_of_int worst;
           Printf.sprintf "%.2f"
-            (float_of_int chosen /. float_of_int (max 1 best_possible));
+            (float_of_int chosen /. float_of_int (Int.max 1 best_possible));
         ])
       workload
   in
@@ -677,6 +686,179 @@ let construction () =
     "the fused path makes one document sweep (two for equi-depth) with      compiled predicates dispatched by interned tag; legacy re-walks the      document ~4-5 times per predicate with AST-interpreted evaluation"
 
 (* ------------------------------------------------------------------ *)
+(* Maintenance: incremental summary apply vs full rebuild              *)
+(* ------------------------------------------------------------------ *)
+
+let maintenance () =
+  Report.section
+    "Maintenance: incremental apply vs per-update rebuild on a DBLP update      stream (grid 10, Table-1 predicate set)";
+  let module E = Xmlest.Elem in
+  let module U = Xmlest.Update in
+  let doc = Data.dblp () in
+  let preds = List.map snd (Data.dblp_predicates ()) in
+  let rng = Xmlest.Splitmix.create 0x4d41494e in
+  let article k =
+    E.make "article"
+      ~attrs:[ ("key", Printf.sprintf "maint/%d" k) ]
+      ~children:
+        [
+          E.leaf "author" (Printf.sprintf "Author %d" k);
+          E.leaf "title" (Printf.sprintf "Maintained Entry %d" k);
+          E.leaf "year" (string_of_int (1980 + (k mod 40)));
+          E.leaf "url" (Printf.sprintf "db/maint/%d.html" k);
+        ]
+  in
+  (* The exact stream: end-of-document appends, deletes of random record
+     subtrees and year-text replacements, each drawn against the document
+     as edited so far. *)
+  let n_updates = 200 in
+  let updates =
+    let cur = ref doc in
+    List.init n_updates (fun k ->
+        let d = !cur in
+        let u =
+          match Xmlest.Splitmix.int rng 10 with
+          | 0 | 1 | 2 | 3 | 4 ->
+            U.Insert { parent = 0; index = max_int; subtree = article k }
+          | 5 | 6 | 7 ->
+            U.Delete { node = 1 + Xmlest.Splitmix.int rng (Xmlest.Document.size d - 1) }
+          | _ ->
+            U.Replace_text
+              {
+                node = Xmlest.Splitmix.int rng (Xmlest.Document.size d);
+                text = string_of_int (1980 + Xmlest.Splitmix.int rng 40);
+              }
+        in
+        cur := U.apply_doc d u;
+        u)
+  in
+  let final_doc = List.fold_left U.apply_doc doc updates in
+  (* Incremental: maintain one summary through the whole stream, one
+     update at a time (what an optimizer would do between queries). *)
+  let summary = Xmlest.Summary.build ~grid_size:10 doc preds in
+  let t0 = Sys.time () in
+  List.iter (fun u -> Xmlest.Summary.apply ~policy:`Never summary [ u ]) updates;
+  let t_apply = Sys.time () -. t0 in
+  let t_per_update = t_apply /. float_of_int n_updates in
+  (* The alternative without maintenance: a full rebuild per update.
+     One rebuild of the final document prices it. *)
+  let t_rebuild =
+    Data.time_per_call (fun () -> Xmlest.Summary.build ~grid_size:10 final_doc preds)
+  in
+  let speedup = t_rebuild /. t_per_update in
+  (* The stream holds only exact operations, so the maintained summary
+     must be bit-identical to a same-grid rebuild. *)
+  let reference =
+    Xmlest.Summary.build ~grid:(Xmlest.Summary.grid summary) final_doc preds
+  in
+  let identical =
+    String.equal
+      (Xmlest.Summary.to_string summary)
+      (Xmlest.Summary.to_string reference)
+  in
+  if not identical then
+    failwith "maintenance bench: exact stream diverged from rebuild";
+  Report.table
+    [
+      [ "metric"; "value" ];
+      [ "updates applied"; string_of_int n_updates ];
+      [ "nodes before"; string_of_int (Xmlest.Document.size doc) ];
+      [ "nodes after"; string_of_int (Xmlest.Document.size final_doc) ];
+      [ "incremental apply, total"; Printf.sprintf "%.1fms" (t_apply *. 1e3) ];
+      [ "incremental apply, per update"; Report.us t_per_update ];
+      [ "full rebuild (one)"; Printf.sprintf "%.1fms" (t_rebuild *. 1e3) ];
+      [ "speedup vs rebuild-per-update"; Printf.sprintf "%.1fx" speedup ];
+      [ "bit-identical to rebuild"; (if identical then "yes" else "NO") ];
+    ];
+  (* Interior inserts: approximate, with a tracked drift bound.  Verify
+     the bound against the true L1 gap to a same-grid rebuild. *)
+  let n_interior = 25 in
+  let s2 = Xmlest.Summary.build ~grid_size:10 doc preds in
+  let interior =
+    let cur = ref doc in
+    List.init n_interior (fun k ->
+        let d = !cur in
+        let u =
+          U.Insert
+            {
+              parent = Xmlest.Splitmix.int rng (Xmlest.Document.size d);
+              index = 0;
+              subtree = article (n_updates + k);
+            }
+        in
+        cur := U.apply_doc d u;
+        u)
+  in
+  let interior_doc = List.fold_left U.apply_doc doc interior in
+  Xmlest.Summary.apply ~policy:`Never s2 interior;
+  let ref2 =
+    Xmlest.Summary.build ~grid:(Xmlest.Summary.grid s2) interior_doc preds
+  in
+  let grid = Xmlest.Summary.grid s2 in
+  let l1_gap =
+    List.fold_left
+      (fun acc pred ->
+        let h = Xmlest.Summary.histogram s2 pred in
+        let h' = Xmlest.Summary.histogram ref2 pred in
+        let l1 = ref 0.0 in
+        Xmlest.Grid.iter_upper grid (fun ~i ~j ->
+            l1 :=
+              !l1
+              +. Float.abs
+                   (Xmlest.Position_histogram.get h ~i ~j
+                   -. Xmlest.Position_histogram.get h' ~i ~j));
+        acc +. !l1)
+      0.0 preds
+  in
+  let report2 =
+    match Xmlest.Summary.staleness s2 with
+    | Some r -> r
+    | None -> failwith "maintenance bench: missing staleness report"
+  in
+  let bound = 2.0 *. report2.Xmlest.Staleness.drift_mass in
+  if l1_gap > bound +. 1e-6 then
+    failwith "maintenance bench: drift bound violated";
+  Report.table
+    [
+      [ "metric"; "value" ];
+      [ "interior inserts"; string_of_int n_interior ];
+      [ "tracked drift mass"; Report.f1 report2.Xmlest.Staleness.drift_mass ];
+      [ "drift ratio"; Printf.sprintf "%.4f" report2.Xmlest.Staleness.drift_ratio ];
+      [ "true L1 gap to rebuild"; Report.f1 l1_gap ];
+      [ "bound (2 x drift)"; Report.f1 bound ];
+      [ "bound holds"; (if l1_gap <= bound +. 1e-6 then "yes" else "NO") ];
+    ];
+  let json_path = "BENCH_maintenance.json" in
+  let oc = open_out json_path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"dataset\": \"dblp\",\n\
+    \  \"dblp_scale\": %g,\n\
+    \  \"nodes_before\": %d,\n\
+    \  \"nodes_after\": %d,\n\
+    \  \"updates\": %d,\n\
+    \  \"apply_total_seconds\": %.6f,\n\
+    \  \"apply_per_update_seconds\": %.9f,\n\
+    \  \"rebuild_seconds\": %.6f,\n\
+    \  \"speedup_vs_rebuild_per_update\": %.2f,\n\
+    \  \"exact_stream_bit_identical\": %b,\n\
+    \  \"interior_inserts\": %d,\n\
+    \  \"interior_drift_mass\": %.3f,\n\
+    \  \"interior_drift_ratio\": %.6f,\n\
+    \  \"interior_l1_gap\": %.3f,\n\
+    \  \"interior_bound_holds\": %b\n\
+     }\n"
+    Data.dblp_scale (Xmlest.Document.size doc)
+    (Xmlest.Document.size final_doc) n_updates t_apply t_per_update t_rebuild
+    speedup identical n_interior report2.Xmlest.Staleness.drift_mass
+    report2.Xmlest.Staleness.drift_ratio l1_gap
+    (l1_gap <= bound +. 1e-6);
+  close_out oc;
+  Report.note "machine-readable results written to %s" json_path;
+  Report.note
+    "incremental maintenance touches only the cells of edited nodes (plus      the ancestor chain for appends); a rebuild re-sweeps every node for      every predicate"
+
+(* ------------------------------------------------------------------ *)
 (* Accuracy sweep: error distribution over many random tag pairs       *)
 (* ------------------------------------------------------------------ *)
 
@@ -705,7 +887,7 @@ let accuracy () =
           (fun a ->
             List.iter
               (fun d ->
-                if a <> d then begin
+                if not (String.equal a d) then begin
                   let real = Data.real_pair doc (tagp a) (tagp d) in
                   if real > 0 then samples := (a, d, real) :: !samples
                 end)
@@ -726,7 +908,7 @@ let accuracy () =
         in
         let within_2x errs =
           let hits = List.length (List.filter (fun e -> e <= log 2.0) errs) in
-          100.0 *. float_of_int hits /. float_of_int (max 1 (List.length errs))
+          100.0 *. float_of_int hits /. float_of_int (Int.max 1 (List.length errs))
         in
         let naive a d =
           Xmlest.Summary.node_count summary (tagp a)
@@ -834,7 +1016,7 @@ let timing () =
       in
       rows := [ name; ns; r2 ] :: !rows)
     results;
-  let rows = List.sort compare !rows in
+  let rows = List.sort (List.compare String.compare) !rows in
   Report.table ([ "benchmark"; "ns/run"; "r^2" ] :: rows);
   Report.note
     "the paper reports a few tenths of a millisecond per estimate on 2002 \
@@ -884,7 +1066,7 @@ let caching () =
         Xmlest.Hist_catalog.reset_counters hcat;
         let warm = est cat in
         let plain = est uncached in
-        if warm <> cold || warm <> plain then
+        if not (Float.equal warm cold) || not (Float.equal warm plain) then
           failwith
             (Printf.sprintf
                "caching bench: cached and uncached estimates disagree on %s"
@@ -928,7 +1110,10 @@ let caching () =
             ( Xmlest.Hist_catalog.descendant_coefficients hcat k,
               Xmlest.Hist_catalog.descendant_coefficients loaded k )
           with
-          | Some a, Some b -> bits a = bits b
+          | Some a, Some b ->
+            let ba = bits a and bb = bits b in
+            Int.equal (Array.length ba) (Array.length bb)
+            && Array.for_all2 Int64.equal ba bb
           | None, None -> true
           | _ -> false
         in
@@ -941,7 +1126,7 @@ let caching () =
         in
         let keys = Xmlest.Hist_catalog.keys hcat in
         if
-          Xmlest.Hist_catalog.keys loaded = keys
+          List.equal String.equal (Xmlest.Hist_catalog.keys loaded) keys
           && List.for_all hist_identical keys
           && List.for_all arrays_identical keys
         then
@@ -1003,6 +1188,7 @@ let sections =
     ("datasets", datasets);
     ("accuracy", accuracy);
     ("construction", construction);
+    ("maintenance", maintenance);
     ("ablation", ablation);
     ("theorems", theorems);
     ("timing", timing);

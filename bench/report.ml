@@ -34,12 +34,12 @@ let note fmt =
 let table rows =
   match rows with
   | [] -> ()
-  | header :: _ ->
+  | header :: body ->
     let cols = List.length header in
     let width c =
       List.fold_left (fun acc row ->
           match List.nth_opt row c with
-          | Some cell -> max acc (String.length cell)
+          | Some cell -> Int.max acc (String.length cell)
           | None -> acc)
         0 rows
     in
@@ -49,7 +49,7 @@ let table rows =
         List.mapi
           (fun c cell ->
             let w = List.nth widths c in
-            cell ^ String.make (max 0 (w - String.length cell)) ' ')
+            cell ^ String.make (Int.max 0 (w - String.length cell)) ' ')
           row
       in
       print_endline ("  " ^ String.concat "  " cells)
@@ -57,7 +57,7 @@ let table rows =
     render header;
     print_endline
       ("  " ^ String.concat "  " (List.map (fun w -> String.make w '-') widths));
-    List.iter render (List.tl rows)
+    List.iter render body
 
 let f0 v = Printf.sprintf "%.0f" v
 let f1 v = Printf.sprintf "%.1f" v
@@ -65,4 +65,4 @@ let f2 v = Printf.sprintf "%.2f" v
 
 let us v = Printf.sprintf "%.1fus" (v *. 1e6)
 
-let ratio est real = if real = 0.0 then "n/a" else Printf.sprintf "%.2f" (est /. real)
+let ratio est real = if Float.equal real 0.0 then "n/a" else Printf.sprintf "%.2f" (est /. real)

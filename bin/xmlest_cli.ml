@@ -5,7 +5,8 @@
    - stats:         per-tag statistics (count, depth, overlap) of a file
    - build-summary: build histograms over a file and save them to disk
    - estimate:      estimate a twig query (from a file or a saved summary)
-   - plan:          rank the left-deep join plans of a query by estimated cost *)
+   - plan:          rank the left-deep join plans of a query by estimated cost
+   - apply-updates: maintain a summary under a document update stream *)
 
 open Xmlest_core
 open Cmdliner
@@ -371,6 +372,122 @@ let query_cmd =
   in
   Cmd.v info Term.(const run $ file $ query $ grid_arg $ limit)
 
+(* --- apply-updates ------------------------------------------------------ *)
+
+let policy_conv =
+  let parse s =
+    match s with
+    | "never" -> Ok `Never
+    | "always" -> Ok `Always
+    | s -> (
+      match float_of_string_opt s with
+      | Some f when f > 0.0 -> Ok (`Threshold f)
+      | _ ->
+        Error
+          (`Msg
+            (Printf.sprintf "bad policy %S (expected never, always or a drift ratio)" s)))
+  in
+  let print ppf = function
+    | `Never -> Format.pp_print_string ppf "never"
+    | `Always -> Format.pp_print_string ppf "always"
+    | `Threshold f -> Format.fprintf ppf "%g" f
+  in
+  Arg.conv (parse, print)
+
+(* One update per line; blank lines and '#' comments are skipped. *)
+let read_updates path =
+  let ic = open_in path in
+  let rec go lineno acc =
+    match input_line ic with
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+    | line ->
+      let t = String.trim line in
+      if t = "" || t.[0] = '#' then go (lineno + 1) acc
+      else begin
+        match Xmlest.Update.parse t with
+        | Ok u -> go (lineno + 1) (u :: acc)
+        | Error e ->
+          Printf.eprintf "%s:%d: %s\n" path lineno e;
+          exit 1
+      end
+  in
+  go 1 []
+
+let apply_updates_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"XML document.")
+  in
+  let updates_file =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"UPDATES"
+           ~doc:"Update stream, one operation per line: 'insert <parent> \
+                 <index> <xml>', 'delete <node>', 'replace-text <node> \
+                 <text>' or 'replace-attrs <node> k=v ...'.  Nodes are \
+                 pre-order indices into the document as edited so far; \
+                 blank lines and '#' comments are skipped.")
+  in
+  let policy =
+    Arg.(value & opt policy_conv (`Threshold 0.5) & info [ "policy" ] ~docv:"P"
+           ~doc:"Staleness policy: 'never' (keep maintaining), 'always' \
+                 (rebuild after every batch) or a drift-ratio bound that \
+                 triggers a rebuild when crossed (default 0.5).")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT"
+           ~doc:"Write the maintained summary to OUT.")
+  in
+  let query =
+    Arg.(value & opt (some string) None & info [ "estimate" ] ~docv:"QUERY"
+           ~doc:"Estimate QUERY over the maintained summary afterwards.")
+  in
+  let run file updates_file grid equidepth policy output query =
+    let doc = read_document file in
+    let summary =
+      build_summary doc ~grid ~equidepth ~content:false (tag_predicates doc)
+    in
+    let ups = read_updates updates_file in
+    (try Xmlest.Summary.apply ~policy summary ups with
+    | Invalid_argument msg | Failure msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 1);
+    let size' =
+      match Xmlest.Summary.document summary with
+      | Some d -> Xmlest.Document.size d
+      | None -> 0
+    in
+    Printf.printf "applied %d update%s: %d -> %d element nodes\n"
+      (List.length ups)
+      (if List.length ups = 1 then "" else "s")
+      (Xmlest.Document.size doc) size';
+    (match Xmlest.Summary.staleness summary with
+    | None ->
+      print_endline "summary rebuilt in place (policy or drift threshold)"
+    | Some r -> Format.printf "%a@." Xmlest.Staleness.pp_report r);
+    (match query with
+    | Some q ->
+      Printf.printf "estimate: %.1f\n"
+        (Xmlest.Summary.estimate summary (parse_query q))
+    | None -> ());
+    match output with
+    | Some out ->
+      Xmlest.Summary.save summary out;
+      Printf.printf "wrote %s\n" out
+    | None -> ()
+  in
+  let info =
+    Cmd.info "apply-updates"
+      ~doc:"Apply a document update stream to a summary incrementally: \
+            deletes, end-of-document appends and text/attribute \
+            replacements maintain the histograms exactly; interior inserts \
+            accrue a tracked drift bound and trigger a rebuild per the \
+            staleness policy."
+  in
+  Cmd.v info
+    Term.(const run $ file $ updates_file $ grid_arg $ equidepth_arg $ policy
+          $ output $ query)
+
 (* --- shell ----------------------------------------------------------------- *)
 
 let shell_cmd =
@@ -406,6 +523,6 @@ let main_cmd =
   let info = Cmd.info "xmlest" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ generate_cmd; stats_cmd; build_summary_cmd; estimate_cmd; plan_cmd;
-      query_cmd; shell_cmd ]
+      query_cmd; apply_updates_cmd; shell_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

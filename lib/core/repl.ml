@@ -25,6 +25,11 @@ let help =
       "  plan <query>                   rank join orders by estimated cost";
       "  run <query> [limit]            execute the best plan, show matches";
       "  hist <tag>                     ASCII heatmap of a tag's position histogram";
+      "  update <op line>               apply a document update and maintain the summary";
+      "                                 (insert <parent> <idx> <xml> | delete <node> |";
+      "                                  replace-text <node> <text> | replace-attrs <node> k=v ...)";
+      "  staleness                      drift accrued since the summary was (re)built";
+      "  summary info                   grid, predicates, build and staleness counters";
       "  save-summary <file>            persist the summary";
       "  load-summary <file>            load a persisted summary";
       "  catalog stats                  histogram-catalog cache counters";
@@ -233,6 +238,71 @@ let cmd_catalog_load state path =
       path
   | Error msg -> reply "error: %s" msg
 
+let cmd_update state rest =
+  let summary = need_summary state in
+  match Summary.Update.parse rest with
+  | Error msg -> reply "error: %s" msg
+  | Ok u ->
+    Summary.apply summary [ u ];
+    (* The summary's document advanced; keep the REPL's copy in sync so
+       'exact'/'run' answer over the same revision. *)
+    state.doc <- Summary.document summary;
+    (match Summary.staleness summary with
+    | None -> "applied (drift threshold crossed: summary rebuilt in place)"
+    | Some r ->
+      Printf.sprintf "applied; %d update%s since build, drift ratio %.4f"
+        r.Summary.Staleness.updates_since_build
+        (if r.Summary.Staleness.updates_since_build = 1 then "" else "s")
+        r.Summary.Staleness.drift_ratio)
+
+let cmd_staleness state =
+  let summary = need_summary state in
+  match Summary.staleness summary with
+  | None -> "no updates applied since the summary was (re)built"
+  | Some r -> Format.asprintf "%a" Summary.Staleness.pp_report r
+
+let cmd_summary_info state =
+  let summary = need_summary state in
+  let module G = Xmlest_histogram.Grid in
+  let grid = Summary.grid summary in
+  let preds = Summary.predicates summary in
+  let pred_names = List.map Predicate.name preds in
+  let shown =
+    let rec take n = function
+      | x :: rest when n > 0 -> x :: take (n - 1) rest
+      | _ -> []
+    in
+    let head = take 8 pred_names in
+    String.concat ", " head
+    ^ if List.length pred_names > 8 then ", ..." else ""
+  in
+  String.concat "\n"
+    [
+      Printf.sprintf "grid: %dx%d %s, max position %d" grid.G.size grid.G.size
+        (if G.is_uniform grid then "uniform" else "equi-depth")
+        grid.G.max_pos;
+      Printf.sprintf "predicates: %d (%s)" (List.length preds) shown;
+      Printf.sprintf "storage: %d bytes" (Summary.storage_bytes summary);
+      (match Summary.document summary with
+      | Some doc ->
+        Printf.sprintf "document: %d element nodes" (Document.size doc)
+      | None -> "document: none (summary loaded from disk)");
+      (match Summary.stats summary with
+      | Some st ->
+        Printf.sprintf "built: %s path, %d passes, %d predicate evals, %.4fs"
+          (match st.Summary.path with `Fused -> "fused" | `Legacy -> "legacy")
+          st.Summary.passes st.Summary.predicate_evals st.Summary.build_time
+      | None -> "built: (loaded summary, no construction stats)");
+      (match Summary.staleness summary with
+      | None -> "staleness: fresh (no updates since build)"
+      | Some r ->
+        Printf.sprintf
+          "staleness: %d update%s, %d nodes touched, drift ratio %.4f"
+          r.Summary.Staleness.updates_since_build
+          (if r.Summary.Staleness.updates_since_build = 1 then "" else "s")
+          r.Summary.Staleness.nodes_touched r.Summary.Staleness.drift_ratio);
+    ]
+
 let cmd_load_summary state path =
   match Summary.load path with
   | Ok s ->
@@ -255,7 +325,18 @@ let execute state line =
         String.sub first 1 (String.length first - 1) :: rest
       | ws -> ws
     in
+    (* 'update' keeps the rest of the line verbatim: replacement text and
+       inline XML may contain spaces. *)
     match stripped with
+    | "update" :: _ :: _ ->
+      let raw = String.trim line in
+      let raw =
+        if String.length raw > 1 && raw.[0] = ':' then
+          String.sub raw 1 (String.length raw - 1)
+        else raw
+      in
+      let body = String.sub raw 6 (String.length raw - 6) in
+      cmd_update state (String.trim body)
     | [] -> ""
     | [ "help" ] -> help
     | [ "gen"; dataset ] -> cmd_gen state dataset 1.0
@@ -277,6 +358,10 @@ let execute state line =
       | Some l -> cmd_run state q l
       | None -> reply "error: bad limit %S" limit)
     | [ "hist"; tag ] -> cmd_hist state tag
+    | [ "staleness" ] -> cmd_staleness state
+    | [ "summary"; "info" ] -> cmd_summary_info state
+    | [ "summary" ] | "summary" :: _ -> reply "error: usage: summary info"
+    | [ "update" ] -> reply "error: usage: update <insert|delete|replace-text|replace-attrs> ..."
     | [ "save-summary"; path ] -> cmd_save_summary state path
     | [ "load-summary"; path ] -> cmd_load_summary state path
     | [ "catalog"; "stats" ] -> cmd_catalog_stats state

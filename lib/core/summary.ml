@@ -2,6 +2,9 @@ open Xmlest_xmldb
 open Xmlest_query
 open Xmlest_histogram
 open Xmlest_estimate
+module Update = Xmlest_maintain.Update
+module Apply = Xmlest_maintain.Apply
+module Staleness = Xmlest_maintain.Staleness
 
 type entry = {
   pred : Predicate.t;
@@ -19,17 +22,21 @@ type build_stats = {
 }
 
 type t = {
-  doc : Document.t option;  (* None for summaries loaded from disk *)
-  grid : Grid.t;
+  mutable doc : Document.t option;  (* None for summaries loaded from disk *)
+  mutable grid : Grid.t;
   preds : Predicate.t list;
   entries : (string, entry) Hashtbl.t;  (* keyed by Predicate.name *)
-  pop : Position_histogram.t;
+  mutable pop : Position_histogram.t;
   with_levels : bool;
-  hcat : Catalog.t;
+  mutable hcat : Catalog.t;
       (* every position histogram (base + built on demand), keyed by
          Predicate.name, with memoized pH-join coefficient arrays *)
   lph_cache : (string, Level_position_histogram.t) Hashtbl.t;
-  stats : build_stats option;  (* None for summaries loaded from disk *)
+  mutable stats : build_stats option;  (* None for summaries loaded from disk *)
+  mutable maint : Apply.t option;
+      (* incremental-maintenance engine, created lazily on the first
+         [apply]; doc/grid/pop/hcat/stats are mutable so a
+         staleness-triggered rebuild can swap them in place *)
 }
 
 (* The catalog lives below xmlest_estimate in the library stack, so the
@@ -153,6 +160,7 @@ let build_legacy ?(grid_size = 10) ?(grid_kind = `Uniform) ?schema_no_overlap
           predicate_evals = !evals;
           build_time = Sys.time () -. t0;
         };
+    maint = None;
   }
 
 (* --- Fused single-pass construction ----------------------------------- *)
@@ -172,8 +180,8 @@ let build_legacy ?(grid_size = 10) ?(grid_kind = `Uniform) ?schema_no_overlap
    the matches through per-predicate cursors without re-evaluating
    anything — the feed sequences are identical to the legacy builders',
    so the resulting histograms are bit-identical. *)
-let build_fused ?(grid_size = 10) ?(grid_kind = `Uniform) ?schema_no_overlap
-    ?(with_levels = true) doc preds =
+let build_fused ?grid:grid_override ?(grid_size = 10) ?(grid_kind = `Uniform)
+    ?schema_no_overlap ?(with_levels = true) doc preds =
   let t0 = Sys.time () in
   let n = Document.size doc in
   (* Unique predicates in first-occurrence order (the legacy dedup). *)
@@ -200,12 +208,16 @@ let build_fused ?(grid_size = 10) ?(grid_kind = `Uniform) ?schema_no_overlap
   in
   let matched = Array.make (Int.max p 1) false in
   let matched_list = Array.make (Int.max p 1) 0 in
-  (* Pass 1 (equi-depth only): matched node sets, no grid needed yet. *)
+  (* Pass 1 (equi-depth only): matched node sets, no grid needed yet.  An
+     explicit [?grid] (used by maintenance rebuild comparisons: positions
+     past its [max_pos] clamp into the last bucket) always takes the
+     single-pass route. *)
   let grid, match_arrays =
-    match grid_kind with
-    | `Uniform ->
+    match (grid_override, grid_kind) with
+    | Some g, _ -> (g, None)
+    | None, `Uniform ->
       (Grid.create ~size:grid_size ~max_pos:(Document.max_pos doc), None)
-    | `Equidepth ->
+    | None, `Equidepth ->
       let acc = Array.make (Int.max p 1) [] in
       for v = 0 to n - 1 do
         Predicate.dispatch_node disp doc v ~f:(fun u -> acc.(u) <- v :: acc.(u))
@@ -363,10 +375,14 @@ let build_fused ?(grid_size = 10) ?(grid_kind = `Uniform) ?schema_no_overlap
       Some
         {
           path = `Fused;
-          passes = (match grid_kind with `Uniform -> 1 | `Equidepth -> 2);
+          passes =
+            (match (grid_override, grid_kind) with
+            | Some _, _ | None, `Uniform -> 1
+            | None, `Equidepth -> 2);
           predicate_evals = Predicate.dispatch_evals disp;
           build_time = Sys.time () -. t0;
         };
+    maint = None;
   }
 
 let build = build_fused
@@ -379,6 +395,111 @@ let predicates t = t.preds
 let population t = t.pop
 
 let find t pred = Hashtbl.find_opt t.entries (Predicate.name pred)
+
+(* --- Incremental maintenance ------------------------------------------ *)
+
+(* The maintenance engine is created lazily on the first [apply]: one
+   document-order sweep seeds its integer ground truth (coverage tables,
+   nesting-pair and level counts), while the position histograms of the
+   existing entries are adopted as live objects and mutated in place from
+   then on.  This works for fused- and legacy-built summaries alike and
+   leaves the construction paths — and the fused-vs-legacy bit-identity
+   invariant — completely untouched. *)
+let maint_state t =
+  match t.maint with
+  | Some st -> st
+  | None -> (
+    match t.doc with
+    | None ->
+      failwith
+        "Summary.apply: no document is attached (summary loaded from disk?)"
+    | Some doc ->
+      let seen = Hashtbl.create 16 in
+      let entries =
+        List.filter_map
+          (fun pred ->
+            let key = Predicate.name pred in
+            if Hashtbl.mem seen key then None
+            else begin
+              Hashtbl.add seen key ();
+              match Hashtbl.find_opt t.entries key with
+              | Some e -> Some (pred, e.hist)
+              | None -> None
+            end)
+          t.preds
+      in
+      let st =
+        Apply.init ~grid:t.grid ~pop:t.pop ~with_levels:t.with_levels ~entries
+          doc
+      in
+      t.maint <- Some st;
+      st)
+
+let staleness t = Option.map Apply.staleness t.maint
+
+(* Full fused rebuild from the current document revision, swapped into
+   the existing summary in place: the grid is re-derived with the same
+   kind and size, so uniform grids regain dense position coverage after
+   appends widened the position space. *)
+let rebuild t =
+  match t.doc with
+  | None -> ()
+  | Some doc ->
+    let grid_kind = if Grid.is_uniform t.grid then `Uniform else `Equidepth in
+    let s =
+      build ~grid_size:t.grid.Grid.size ~grid_kind ~with_levels:t.with_levels
+        doc t.preds
+    in
+    t.grid <- s.grid;
+    t.pop <- s.pop;
+    t.hcat <- s.hcat;
+    t.stats <- s.stats;
+    Hashtbl.reset t.entries;
+    Hashtbl.iter (Hashtbl.add t.entries) s.entries;
+    Hashtbl.reset t.lph_cache;
+    t.maint <- None
+
+let apply ?(policy = `Threshold 0.5) t updates =
+  let st = maint_state t in
+  List.iter (fun u -> ignore (Apply.apply_update st u)) updates;
+  t.doc <- Some (Apply.document st);
+  (* Regenerate the derived parts of every entry from the maintained
+     ground truth.  The position histogram object is untouched (it was
+     mutated in place, version counters bumped); coverage and level
+     histograms are rebuilt from exact counts through the same
+     finalization the streaming builders use, and the no-overlap flag
+     follows the exact nesting-pair count (schema overlap overrides from
+     the original build are not preserved under maintenance). *)
+  let populations = Apply.populations st in
+  List.iter
+    (fun r ->
+      match Hashtbl.find_opt t.entries r.Apply.r_name with
+      | None -> ()
+      | Some e ->
+        let no_overlap = r.Apply.r_no_overlap in
+        let cvg =
+          if no_overlap && r.Apply.r_count > 0 then
+            Some
+              (Coverage_histogram.of_parts ~grid:t.grid ~populations
+                 ~entries:r.Apply.r_coverage)
+          else None
+        in
+        let lvl =
+          if t.with_levels then Some (Level_histogram.of_counts r.Apply.r_levels)
+          else e.lvl
+        in
+        Hashtbl.replace t.entries r.Apply.r_name { e with no_overlap; cvg; lvl })
+    (Apply.results st);
+  (* On-demand histograms built from the pre-edit document are stale: drop
+     every catalog key that is not a maintained base entry, and the lazy
+     level-position caches wholesale.  Base-entry coefficient slots stay
+     and re-derive on demand via their bumped versions. *)
+  List.iter
+    (fun key ->
+      if not (Hashtbl.mem t.entries key) then Catalog.remove t.hcat key)
+    (Catalog.keys t.hcat);
+  Hashtbl.reset t.lph_cache;
+  if Staleness.needs_rebuild policy (Apply.staleness st) then rebuild t
 
 (* Resolution order: catalog entry, then on-demand cache, then (for
    boolean combinations) compound estimation over resolved parts, and for
@@ -739,6 +860,7 @@ let of_string input =
         hcat;
         lph_cache = Hashtbl.create 8;
         stats = None;
+        maint = None;
       }
   with Bad_summary msg -> Error msg
 

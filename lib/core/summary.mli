@@ -15,6 +15,7 @@ open Xmlest_estimate
 type t
 
 val build :
+  ?grid:Grid.t ->
   ?grid_size:int ->
   ?grid_kind:[ `Uniform | `Equidepth ] ->
   ?schema_no_overlap:(Predicate.t -> bool option) ->
@@ -27,7 +28,11 @@ val build :
     buckets as in the paper; [`Equidepth] places bucket boundaries at
     quantiles of the base predicates' node positions, concentrating
     resolution where the catalog's elements live — the non-uniform grids
-    flagged as future work in Sec. 7.  The no-overlap property is
+    flagged as future work in Sec. 7.  An explicit [?grid] overrides both
+    and buckets on the given grid as-is (positions past its [max_pos]
+    clamp into the last bucket) — this is how the maintenance tests
+    compare an incrementally maintained summary against a same-grid
+    rebuild of the edited document.  The no-overlap property is
     detected from the data unless [schema_no_overlap] overrides it;
     coverage histograms are built exactly for the no-overlap predicates.
     Level histograms (for the parent-child extension) are built when
@@ -160,6 +165,50 @@ val explain :
 val storage_bytes : t -> int
 (** Total sparse storage of all histograms in the catalog — the summary
     size the paper reports (≈0.7% of the data for DBLP). *)
+
+(** {2 Incremental maintenance}
+
+    A summary built over a document can follow that document's evolution
+    without a full rebuild per edit: {!apply} funnels {!Update.t} ops
+    through the {!Xmlest_maintain.Apply} engine.  Deletions, appends at
+    the end of the document and text/attribute replacements are applied
+    {e exactly} — after [apply], {!to_string} is bit-identical to a fresh
+    {!build} of the edited document on the same grid (property-tested).
+    Interior inserts are approximate: the inserted nodes are charged at
+    their true cells, pre-existing nodes whose positions shifted keep
+    stale cells, and a sound drift bound accumulates in {!staleness}
+    (the L1 gap to a same-grid rebuild of each position histogram is at
+    most twice its reported drift mass; totals, counts and level
+    histograms stay exact).
+
+    Maintenance mutates position histograms in place, bumping their
+    version counters, so memoized pH-join coefficients in {!hist_catalog}
+    invalidate automatically — the next estimate recomputes them.
+    On-demand histograms built for non-base predicates are dropped from
+    the catalog on every [apply]; the no-overlap flag follows the exact
+    nesting-pair count, so schema-declared overrides from the original
+    build are not preserved. *)
+
+module Update = Xmlest_maintain.Update
+module Staleness = Xmlest_maintain.Staleness
+
+val apply : ?policy:Staleness.policy -> t -> Update.t list -> unit
+(** Apply an update stream in order, maintain every histogram, then
+    consult [policy] (default [`Threshold 0.5]): when the accumulated
+    drift ratio exceeds the bound, the summary is {!rebuild}t from the
+    updated document.  Raises [Failure] when the summary carries no
+    document (loaded from disk) and [Invalid_argument] on out-of-range
+    node references. *)
+
+val staleness : t -> Staleness.report option
+(** Drift accumulated since the last (re)build; [None] when no update was
+    ever applied (no maintenance engine exists yet). *)
+
+val rebuild : t -> unit
+(** Full fused rebuild from the current document revision, swapped in
+    place: the grid is re-derived at the same size and kind, histograms
+    and the coefficient catalog are replaced, drift counters reset.
+    No-op for summaries without a document. *)
 
 val pp_stats : Format.formatter -> t -> unit
 (** One line per predicate: count, overlap property, storage. *)

@@ -69,6 +69,11 @@ module Axis_eval = Xmlest_engine.Axis_eval
 module Plan = Xmlest_optimizer.Plan
 module Optimizer = Xmlest_optimizer.Optimizer
 
+(* Maintenance *)
+module Update = Xmlest_maintain.Update
+module Staleness = Xmlest_maintain.Staleness
+module Maintenance = Xmlest_maintain.Apply
+
 (* Catalog *)
 module Summary = Summary
 module Construction_bench = Construction_bench

@@ -84,7 +84,13 @@ let bucket_bounds t i =
   if i < 0 || i >= t.size then invalid_arg "Grid.bucket_bounds: bucket out of range";
   (t.boundaries.(i), t.boundaries.(i + 1) - 1)
 
-let cell_of_node t ~start_pos ~end_pos = (bucket t start_pos, bucket t end_pos)
+(* Positions past [max_pos] clamp into the last bucket rather than raise:
+   maintenance appends label new nodes beyond the grid's original position
+   range, and a same-grid rebuild must bucket them exactly like the
+   incremental path does.  [bucket] itself stays strict. *)
+let cell_of_node t ~start_pos ~end_pos =
+  let clamped p = if p > t.max_pos then t.size - 1 else bucket t p in
+  (clamped start_pos, clamped end_pos)
 
 let cells t = t.size * t.size
 

@@ -49,7 +49,10 @@ val bucket_bounds : t -> int -> int * int
 (** [(lo, hi)] inclusive position range of a bucket. *)
 
 val cell_of_node : t -> start_pos:int -> end_pos:int -> int * int
-(** [(bucket start, bucket end)]. *)
+(** [(bucket start, bucket end)].  Unlike {!bucket}, positions beyond
+    [max_pos] clamp into the last bucket: maintenance appends label nodes
+    past the grid's original range, and rebuilding on the same grid must
+    place them exactly where the incremental path did. *)
 
 val cells : t -> int
 (** [size * size], the dense array length. *)

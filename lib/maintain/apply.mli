@@ -1,0 +1,87 @@
+(** Incremental statistics maintenance engine.
+
+    Applies {!Update.t} edits to a live set of summary statistics without
+    rebuilding them from the document:
+
+    - {b Deletions} and {b end-of-document appends} are applied exactly:
+      the affected nodes' cells are subtracted from / fed into the same
+      per-cell counts the streaming builders accumulate, so the maintained
+      histograms stay bit-identical to a same-grid rebuild on the edited
+      document (the delete/append property tests pin this).
+    - {b Interior inserts} are approximate: the new subtree is fed exactly
+      at its insertion locus, but pre-existing nodes whose positions
+      shifted keep their stale cells; a sound per-predicate drift bound
+      (see {!Staleness}) is accumulated instead.
+    - {b Text/attribute replacements} are exact: only the edited node's
+      matched set can flip, and the flip is propagated to counts, levels,
+      nesting pairs and the coverage entries of its subtree.
+
+    Position histograms are mutated in place via
+    [Position_histogram.add], so each edit bumps their version counters
+    and any memoized pH-join coefficients in a {!Catalog} invalidate
+    automatically (the next lookup recomputes).
+
+    The engine lives below the summary layer: [Summary.apply] owns an
+    instance, initializes it lazily from the attached document with
+    {!init}, funnels updates through {!apply_update}, and regenerates its
+    entry records from {!results}. *)
+
+open Xmlest_xmldb
+open Xmlest_query
+open Xmlest_histogram
+
+type t
+
+type outcome = {
+  exact : bool;  (** false only for interior inserts *)
+  nodes_touched : int;
+  drift_added : float;  (** drift mass added across predicates *)
+}
+
+val init :
+  grid:Grid.t ->
+  pop:Position_histogram.t ->
+  with_levels:bool ->
+  entries:(Predicate.t * Position_histogram.t) list ->
+  Document.t ->
+  t
+(** Seed the maintained counters with one document-order sweep.  [pop] and
+    the per-predicate histograms in [entries] must already describe
+    [doc] on [grid] (they are adopted as the live objects and mutated in
+    place by later updates, not recomputed here); [entries] lists the
+    summary's base predicates deduplicated in first-occurrence order. *)
+
+val apply_update : t -> Update.t -> outcome
+(** Apply one edit to the document and all maintained statistics.  Raises
+    [Invalid_argument] on out-of-range node references (the document is
+    then unchanged). *)
+
+val document : t -> Document.t
+(** The current (post-edit) document revision. *)
+
+val update_count : t -> int
+
+val populations : t -> float array
+(** Dense per-cell node counts over all nodes, maintained exactly — the
+    [populations] argument coverage histograms are finished against. *)
+
+type pred_result = {
+  r_pred : Predicate.t;
+  r_name : string;
+  r_count : int;  (** matching nodes *)
+  r_no_overlap : bool;  (** exact: zero nesting pairs among matches *)
+  r_coverage : (int * int * float) list;
+      (** (covered cell, covering cell, fraction of the covered cell's
+          population) — feed to [Coverage_histogram.of_parts] *)
+  r_levels : float array;
+      (** per-level matching counts, trimmed like
+          [Level_histogram.finish] — feed to [Level_histogram.of_counts] *)
+}
+
+val results : t -> pred_result list
+(** Regeneration view of every maintained predicate, in the order given to
+    {!init}.  Note that [r_no_overlap] is derived from the data (exact
+    nesting-pair counts); schema-declared overlap overrides passed to the
+    original build are not preserved under maintenance. *)
+
+val staleness : t -> Staleness.report

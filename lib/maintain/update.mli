@@ -1,0 +1,51 @@
+(** Document update operations for the maintenance subsystem.
+
+    An update stream is an ordered list of edits against a live
+    {!Xmlest_xmldb.Document.t}; node references are pre-order indices into
+    the document {e as it stands when the update is applied} — each edit
+    renumbers nodes after its splice point, so a stream's indices are
+    interpreted sequentially, not against the original document.
+
+    Updates travel as text lines (one op per line) through the CLI's
+    [apply-updates] subcommand and the REPL's [update] command:
+
+    {v
+    insert <parent> <index> <xml>
+    delete <node>
+    replace-text <node> <text>
+    replace-attrs <node> k=v k=v ...
+    v} *)
+
+open Xmlest_xmldb
+
+type t =
+  | Insert of { parent : Document.node; index : int; subtree : Elem.t }
+      (** Insert [subtree] as the [index]-th child of [parent]; an [index]
+          outside the child range appends as the last child. *)
+  | Delete of { node : Document.node }
+      (** Delete the subtree rooted at [node]. *)
+  | Replace_text of { node : Document.node; text : string }
+  | Replace_attrs of { node : Document.node; attrs : (string * string) list }
+
+val apply_doc : Document.t -> t -> Document.t
+(** Apply one update to the document alone (no statistics maintenance).
+    Raises [Invalid_argument] on out-of-range node references, as the
+    underlying {!Document} edit helpers do. *)
+
+val parse : string -> (t, string) result
+(** Parse one update line (see the formats above).  Insert subtrees are
+    given as inline XML parsed by {!Xml_parser.parse_string};
+    [replace-text] takes the rest of the line verbatim; [replace-attrs]
+    takes space-separated [k=v] pairs (values cannot contain spaces in
+    the line format). *)
+
+val to_line : t -> string
+(** Serialize to the line format; inverse of {!parse} (insert subtrees are
+    emitted as entity-escaped XML). *)
+
+val subtree_to_xml : Elem.t -> string
+(** Exact single-line XML for a subtree, entities escaped so that
+    {!Xml_parser.parse_string} inverts it (unlike [Elem.pp], which
+    truncates long text for display). *)
+
+val pp : Format.formatter -> t -> unit

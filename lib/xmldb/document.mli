@@ -41,7 +41,10 @@ val size : t -> int
 (** Number of nodes, including any dummy root. *)
 
 val max_pos : t -> int
-(** Largest assigned position value ([= 2 * size - 1]). *)
+(** Largest assigned position value.  For a freshly compiled store this is
+    [2 * size - 1]; after maintenance edits ({!delete_subtree} preserves
+    surviving labels, leaving holes) positions are merely distinct and
+    bounded by it, with [max_pos >= 2 * size - 1]. *)
 
 (** {2 Per-node accessors} *)
 
@@ -102,3 +105,34 @@ val tag_name : t -> int -> string
 val nodes_with_tag_id : t -> int -> node array
 (** Tag-id-keyed node index: nodes carrying the interned tag, in document
     order.  The returned array is shared with the store — do not mutate. *)
+
+(** {2 Edits}
+
+    Persistent edit helpers backing the maintenance subsystem
+    ([lib/maintain]): each returns a new store and leaves the argument
+    untouched.  Deletions are {e label-preserving} — surviving nodes keep
+    their start/end positions and [max_pos] is unchanged, so position
+    holes appear where the subtree used to sit.  Insertions shift every
+    position at or after the insertion locus right by [2 * k] (where [k]
+    is the inserted subtree's node count) and label the new subtree
+    densely at the locus, growing [max_pos] by [2 * k]. *)
+
+val delete_subtree : t -> node -> t
+(** Remove the subtree rooted at the node.  Raises [Invalid_argument] for
+    node [0] (the store root) or an out-of-range index. *)
+
+val insert_subtree : t -> parent:node -> index:int -> Elem.t -> t * node
+(** Insert the element as the [index]-th child of [parent] (shifting later
+    siblings right); any [index] outside the current child range appends as
+    the last child.  Returns the new store and the inserted root's node
+    index.  New tags are interned after the existing ids, so ids of
+    existing tags are stable.  Raises [Invalid_argument] when [parent] is
+    out of range. *)
+
+val replace_text : t -> node -> string -> t
+(** Replace a node's text content.  Raises [Invalid_argument] on an
+    out-of-range index. *)
+
+val replace_attrs : t -> node -> (string * string) list -> t
+(** Replace a node's attribute list.  Raises [Invalid_argument] on an
+    out-of-range index. *)

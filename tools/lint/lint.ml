@@ -115,7 +115,7 @@ let allow_lines src =
 
 let suppressed allows rule line =
   List.exists
-    (fun (l, r) -> String.equal r rule && (l = line || l + 1 = line))
+    (fun (l, r) -> String.equal r rule && (Int.equal l line || Int.equal (l + 1) line))
     allows
 
 (* --- AST walk ---------------------------------------------------------- *)
@@ -255,7 +255,7 @@ let lint_source ~file src =
         | Syntaxerr.Error _ -> "syntax error"
         | exn -> Printexc.to_string exn
       in
-      Error { file; line = max line 1; rule = "parse-error"; message = msg }
+      Error { file; line = Int.max line 1; rule = "parse-error"; message = msg }
   in
   match parsed with
   | Error f -> [ f ]
