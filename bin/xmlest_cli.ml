@@ -110,10 +110,24 @@ let content_arg =
          ~doc:"Also build histograms for frequent element-content values \
                and prefixes (Sec. 3.4's end-biased predicate selection).")
 
-let build_summary doc ~grid ~equidepth ~content preds =
+let domains_arg =
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"D"
+         ~doc:"Build the summary on D OCaml domains (parallel chunked \
+               sweep; the result is bit-identical to the sequential \
+               build).  0 means the runtime's recommended domain count.")
+
+let resolve_domains d =
+  if d = 0 then Xmlest.Domain_pool.recommended_domains ()
+  else if d < 0 then begin
+    Printf.eprintf "--domains must be >= 0\n";
+    exit 1
+  end
+  else d
+
+let build_summary ?(domains = 1) doc ~grid ~equidepth ~content preds =
   let preds = if content then Xmlest.Advisor.suggest doc else preds in
   let grid_kind = if equidepth then `Equidepth else `Uniform in
-  try Xmlest.Summary.build ~grid_size:grid ~grid_kind doc preds
+  try Xmlest.Summary.build ~grid_size:grid ~grid_kind ~domains doc preds
   with Invalid_argument msg ->
     Printf.eprintf "%s\n" msg;
     exit 1
@@ -127,9 +141,12 @@ let build_summary_cmd =
     Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT"
            ~doc:"Where to write the summary.")
   in
-  let run file grid equidepth content output =
+  let run file grid equidepth content domains output =
     let doc = read_document file in
-    let summary = build_summary doc ~grid ~equidepth ~content (tag_predicates doc) in
+    let domains = resolve_domains domains in
+    let summary =
+      build_summary ~domains doc ~grid ~equidepth ~content (tag_predicates doc)
+    in
     Xmlest.Summary.save summary output;
     Printf.printf "wrote %s: %d predicates, %d bytes of histograms (file %d bytes)\n"
       output
@@ -142,7 +159,8 @@ let build_summary_cmd =
       ~doc:"Build position/coverage histograms over a document and save them."
   in
   Cmd.v info
-    Term.(const run $ file $ grid_arg $ equidepth_arg $ content_arg $ output)
+    Term.(const run $ file $ grid_arg $ equidepth_arg $ content_arg
+          $ domains_arg $ output)
 
 (* --- estimate ---------------------------------------------------------- *)
 
@@ -187,8 +205,8 @@ let estimate_cmd =
                  when present, saved back afterwards, so repeated \
                  invocations reuse the coefficient arrays.")
   in
-  let run file from_summary query grid equidepth exact no_coverage explain
-      check catalog_file =
+  let run file from_summary query grid equidepth domains exact no_coverage
+      explain check catalog_file =
     let pattern = parse_query query in
     let summary, doc =
       if from_summary then begin
@@ -200,8 +218,10 @@ let estimate_cmd =
       end
       else begin
         let doc = read_document file in
-        (build_summary doc ~grid ~equidepth ~content:false (tag_predicates doc),
-         Some doc)
+        ( build_summary
+            ~domains:(resolve_domains domains)
+            doc ~grid ~equidepth ~content:false (tag_predicates doc),
+          Some doc )
       end
     in
     (match catalog_file with
@@ -264,7 +284,7 @@ let estimate_cmd =
   in
   Cmd.v info
     Term.(const run $ file $ from_summary $ query $ grid_arg $ equidepth_arg
-          $ exact $ no_coverage $ explain $ check $ catalog_file)
+          $ domains_arg $ exact $ no_coverage $ explain $ check $ catalog_file)
 
 (* --- plan -------------------------------------------------------------- *)
 
@@ -442,10 +462,12 @@ let apply_updates_cmd =
     Arg.(value & opt (some string) None & info [ "estimate" ] ~docv:"QUERY"
            ~doc:"Estimate QUERY over the maintained summary afterwards.")
   in
-  let run file updates_file grid equidepth policy output query =
+  let run file updates_file grid equidepth domains policy output query =
     let doc = read_document file in
     let summary =
-      build_summary doc ~grid ~equidepth ~content:false (tag_predicates doc)
+      build_summary
+        ~domains:(resolve_domains domains)
+        doc ~grid ~equidepth ~content:false (tag_predicates doc)
     in
     let ups = read_updates updates_file in
     (try Xmlest.Summary.apply ~policy summary ups with
@@ -485,8 +507,8 @@ let apply_updates_cmd =
             staleness policy."
   in
   Cmd.v info
-    Term.(const run $ file $ updates_file $ grid_arg $ equidepth_arg $ policy
-          $ output $ query)
+    Term.(const run $ file $ updates_file $ grid_arg $ equidepth_arg
+          $ domains_arg $ policy $ output $ query)
 
 (* --- shell ----------------------------------------------------------------- *)
 

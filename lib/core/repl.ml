@@ -6,9 +6,11 @@ open Xmlest_optimizer
 type state = {
   mutable doc : Document.t option;
   mutable summary : Summary.t option;
+  mutable domains : int;
+      (* domain count for 'summarize' builds; 1 = sequential sweep *)
 }
 
-let create () = { doc = None; summary = None }
+let create () = { doc = None; summary = None; domains = 1 }
 
 let help =
   String.concat "\n"
@@ -18,6 +20,9 @@ let help =
       "  load <file.xml>                load an XML document";
       "  stats                          per-tag statistics of the document";
       "  summarize [grid] [equidepth]   build histograms (default grid 10)";
+      "  set domains <n>                build summaries on n OCaml domains";
+      "                                 (0 = recommended count; result is";
+      "                                  bit-identical to the sequential build)";
       "  estimate <query>               estimate a twig query's answer size";
       "  check <query>                  static analysis of a query against the summary";
       "  explain <query>                estimate with a join-by-join trace";
@@ -110,13 +115,28 @@ let cmd_summarize state args =
     | None -> 10
   in
   let grid_kind = if List.mem "equidepth" args then `Equidepth else `Uniform in
-  let summary = Summary.build ~grid_size ~grid_kind doc (tag_predicates doc) in
+  let summary =
+    Summary.build ~grid_size ~grid_kind ~domains:state.domains doc
+      (tag_predicates doc)
+  in
   state.summary <- Some summary;
-  Printf.sprintf "summary: %d predicates, %d bytes (grid %d%s)"
+  Printf.sprintf "summary: %d predicates, %d bytes (grid %d%s%s)"
     (List.length (Summary.predicates summary))
     (Summary.storage_bytes summary)
     grid_size
     (if grid_kind = `Equidepth then ", equi-depth" else "")
+    (if state.domains > 1 then Printf.sprintf ", %d domains" state.domains
+     else "")
+
+let cmd_set_domains state arg =
+  match int_of_string_opt arg with
+  | Some 0 ->
+    state.domains <- Xmlest_parallel.Pool.recommended_domains ();
+    Printf.sprintf "domains: %d (recommended)" state.domains
+  | Some d when d >= 1 ->
+    state.domains <- d;
+    Printf.sprintf "domains: %d" d
+  | Some _ | None -> reply "error: bad domain count %S" arg
 
 let cmd_estimate state q =
   let summary = need_summary state in
@@ -347,6 +367,8 @@ let execute state line =
     | [ "load"; path ] -> cmd_load state path
     | [ "stats" ] -> cmd_stats state
     | "summarize" :: args -> cmd_summarize state args
+    | [ "set"; "domains"; d ] -> cmd_set_domains state d
+    | [ "set" ] | "set" :: _ -> reply "error: usage: set domains <n>"
     | [ "estimate"; q ] | [ "est"; q ] -> cmd_estimate state q
     | [ "check"; q ] -> cmd_check state q
     | [ "explain"; q ] -> cmd_explain state q

@@ -163,25 +163,190 @@ let build_legacy ?(grid_size = 10) ?(grid_kind = `Uniform) ?schema_no_overlap
     maint = None;
   }
 
-(* --- Fused single-pass construction ----------------------------------- *)
+(* --- Fused construction: sequential or partitioned over domains ------- *)
 
-(* One document-order sweep fills, for every base predicate at once: the
-   position histogram, the level histogram, the coverage run-length lists
-   and the no-overlap flag — plus the shared population histogram.  Per
-   node, the dispatch table evaluates only the predicates pinned to the
-   node's tag (plus unpinned ones); each predicate's interval stream then
-   yields its nearest strict P-ancestor for the coverage feed.  Node cells
-   are computed once and cached ([node_cell]): ancestors precede their
-   descendants in document order, so the covering cell is always a lookup.
+module Pool = Xmlest_parallel.Pool
+module Chunking = Xmlest_parallel.Chunking
+module Builder_merge = Xmlest_parallel.Builder_merge
 
-   Uniform grids need a single pass.  Equi-depth grids need the matched
+(* First index with [arr.(k) >= x] in a sorted array ([Array.length arr]
+   when none), and sorted membership — used to seed the equi-depth replay
+   cursors and the stream seeds at a chunk boundary without re-evaluating
+   any predicate. *)
+let lower_bound arr x =
+  let lo = ref 0 and hi = ref (Array.length arr) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if arr.(mid) < x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let mem_sorted arr x =
+  let k = lower_bound arr x in
+  k < Array.length arr && Int.equal arr.(k) x
+
+(* One chunk [lo, hi) of the fused document-order sweep.  The chunk fills,
+   for every base predicate at once: the position histogram, the level
+   histogram, the coverage run-length lists and the nesting flag — plus
+   the shared population histogram.  For the leading chunk this is
+   exactly the sequential sweep.  A later chunk seeds each predicate's
+   interval stream with the set-member strict ancestors of [lo]
+   (outermost first) — precisely the stack the sequential sweep would
+   hold on arriving at [lo] — so every feed yields the same nearest
+   strict P-ancestor it would have sequentially.  Node cells are cached
+   chunk-locally; a covering ancestor before the chunk has its cell
+   recomputed on the spot ([Grid.cell_of_node] is pure).
+
+   With [match_arrays] (equi-depth), the matched sets were collected in
+   pass 1: the fill replays them through per-predicate cursors seeded by
+   binary search, and seed membership is a binary search too, so the
+   replay performs no predicate evaluations at all.  Without it
+   (uniform / explicit grid), a fresh dispatch table — dispatch state is
+   mutable, so it must not be shared across domains — evaluates each
+   node, plus the ancestors of [lo] once for the seeds. *)
+let sweep_range ~grid ~p ~schema ~with_levels ~upreds ~match_arrays doc ~lo ~hi =
+  let cell_of v =
+    let i, j =
+      Grid.cell_of_node grid ~start_pos:(Document.start_pos doc v)
+        ~end_pos:(Document.end_pos doc v)
+    in
+    Grid.index grid ~i ~j
+  in
+  let hist_b = Array.init p (fun _ -> Position_histogram.builder grid) in
+  let lvl_b =
+    if with_levels then Some (Array.init p (fun _ -> Level_histogram.builder ()))
+    else None
+  in
+  let cvg_b =
+    Array.init p (fun u ->
+        (* A schema override saying "overlaps" means the coverage histogram
+           can never be kept; skip its accumulation entirely. *)
+        match schema.(u) with
+        | Some false -> None
+        | Some true | None -> Some (Coverage_histogram.builder grid))
+  in
+  let disp =
+    match match_arrays with
+    | None -> Some (Predicate.dispatch doc upreds)
+    | Some _ -> None
+  in
+  let streams =
+    if lo = 0 then Array.init p (fun _ -> Interval_ops.stream doc)
+    else begin
+      let seeds = Array.make (Int.max p 1) [] in
+      List.iter
+        (fun a ->
+          match (disp, match_arrays) with
+          | Some d, _ ->
+            Predicate.dispatch_node d doc a ~f:(fun u ->
+                seeds.(u) <- a :: seeds.(u))
+          | None, Some arrays ->
+            for u = 0 to p - 1 do
+              if mem_sorted arrays.(u) a then seeds.(u) <- a :: seeds.(u)
+            done
+          | None, None -> assert false)
+        (Document.ancestors doc lo);
+      Array.init p (fun u ->
+          Interval_ops.stream_seeded doc ~open_nodes:(List.rev seeds.(u)))
+    end
+  in
+  let matched = Array.make (Int.max p 1) false in
+  let matched_list = Array.make (Int.max p 1) 0 in
+  let counts = Array.make (Int.max p 1) 0 in
+  let populations = Array.make (Grid.cells grid) 0.0 in
+  let pop_b = Position_histogram.builder grid in
+  let node_cell = Array.make (Int.max (hi - lo) 1) 0 in
+  (* The fill pass, shared by both grid kinds; [fill_matched] leaves the
+     indices of the predicates matching [v] in [matched_list.(0..k-1)]
+     (and sets their [matched] flags, cleared here after use). *)
+  let fill_pass fill_matched =
+    for v = lo to hi - 1 do
+      let idx = cell_of v in
+      node_cell.(v - lo) <- idx;
+      populations.(idx) <- populations.(idx) +. 1.0;
+      Position_histogram.feed_cell pop_b idx;
+      let nmatched = fill_matched v in
+      for u = 0 to p - 1 do
+        let in_set = matched.(u) in
+        let nearest = Interval_ops.feed streams.(u) v ~in_set in
+        (match cvg_b.(u) with
+        | Some b when nearest >= 0 ->
+          let covering =
+            if nearest >= lo then node_cell.(nearest - lo) else cell_of nearest
+          in
+          Coverage_histogram.feed b ~covered:idx ~covering
+        | Some _ | None -> ());
+        if in_set then begin
+          Position_histogram.feed_cell hist_b.(u) idx;
+          (match lvl_b with
+          | Some lb -> Level_histogram.feed lb.(u) (Document.level doc v)
+          | None -> ());
+          counts.(u) <- counts.(u) + 1
+        end
+      done;
+      for k = 0 to nmatched - 1 do
+        matched.(matched_list.(k)) <- false
+      done
+    done
+  in
+  (match (match_arrays, disp) with
+  | None, Some d ->
+    fill_pass (fun v ->
+        let nmatched = ref 0 in
+        Predicate.dispatch_node d doc v ~f:(fun u ->
+            matched.(u) <- true;
+            matched_list.(!nmatched) <- u;
+            incr nmatched);
+        !nmatched)
+  | Some arrays, _ ->
+    (* Replay pass 1's matches through per-predicate cursors: the arrays
+       are in document order, so each head is compared against [v] once. *)
+    let cursor =
+      Array.init (Int.max p 1) (fun u ->
+          if u < p then lower_bound arrays.(u) lo else 0)
+    in
+    fill_pass (fun v ->
+        let nmatched = ref 0 in
+        for u = 0 to p - 1 do
+          let arr = arrays.(u) in
+          if cursor.(u) < Array.length arr && Int.equal arr.(cursor.(u)) v
+          then begin
+            cursor.(u) <- cursor.(u) + 1;
+            matched.(u) <- true;
+            matched_list.(!nmatched) <- u;
+            incr nmatched
+          end
+        done;
+        !nmatched)
+  | None, None -> assert false);
+  {
+    Builder_merge.p_hists = hist_b;
+    p_levels = lvl_b;
+    p_coverage = cvg_b;
+    p_pop = pop_b;
+    p_populations = populations;
+    p_counts = counts;
+    p_nesting = Array.init p (fun u -> Interval_ops.nesting_seen streams.(u));
+    p_evals = (match disp with Some d -> Predicate.dispatch_evals d | None -> 0);
+  }
+
+(* Uniform grids need a single sweep.  Equi-depth grids need the matched
    node sets before the grid exists, so a first match-only pass collects
    them (also yielding the quantile positions), and the fill pass replays
-   the matches through per-predicate cursors without re-evaluating
-   anything — the feed sequences are identical to the legacy builders',
-   so the resulting histograms are bit-identical. *)
+   the matches without re-evaluating anything — the feed sequences are
+   identical to the legacy builders', so the resulting histograms are
+   bit-identical.
+
+   Both passes partition the node range into contiguous chunks (one per
+   domain by default, or of [?chunk_size] nodes) swept concurrently on a
+   domain pool and merged {e in chunk-index order}, never completion
+   order.  Every per-cell quantity is an integer count fed one unit at a
+   time, so the merged sums are exact and the result is bit-identical —
+   [to_string] equal — to the sequential sweep for every domain count and
+   chunk size; the differential QCheck suite pins this. *)
 let build_fused ?grid:grid_override ?(grid_size = 10) ?(grid_kind = `Uniform)
-    ?schema_no_overlap ?(with_levels = true) doc preds =
+    ?schema_no_overlap ?(with_levels = true) ?(domains = 1) ?chunk_size doc
+    preds =
   let t0 = Sys.time () in
   let n = Document.size doc in
   (* Unique predicates in first-occurrence order (the legacy dedup). *)
@@ -200,29 +365,48 @@ let build_fused ?grid:grid_override ?(grid_size = 10) ?(grid_kind = `Uniform)
   in
   let uniq_index, uniq = uniq in
   let p = Array.length uniq in
-  let disp = Predicate.dispatch doc (List.map snd (Array.to_list uniq)) in
+  let upreds = List.map snd (Array.to_list uniq) in
   let schema =
     match schema_no_overlap with
     | None -> Array.make p None
     | Some f -> Array.map (fun (_, pred) -> f pred) uniq
   in
-  let matched = Array.make (Int.max p 1) false in
-  let matched_list = Array.make (Int.max p 1) 0 in
-  (* Pass 1 (equi-depth only): matched node sets, no grid needed yet.  An
-     explicit [?grid] (used by maintenance rebuild comparisons: positions
-     past its [max_pos] clamp into the last bucket) always takes the
-     single-pass route. *)
+  let chunks =
+    match chunk_size with
+    | Some size -> Chunking.ranges_of_size ~n ~size
+    | None -> Chunking.ranges ~n ~count:domains
+  in
+  let ntasks = Array.length chunks in
+  let pass1_evals = ref 0 in
+  (* Pass 1 (equi-depth only): matched node sets, no grid needed yet —
+     collected per chunk with a chunk-private dispatch table and
+     concatenated in chunk order.  An explicit [?grid] (used by
+     maintenance rebuild comparisons: positions past its [max_pos] clamp
+     into the last bucket) always takes the single-pass route. *)
   let grid, match_arrays =
     match (grid_override, grid_kind) with
     | Some g, _ -> (g, None)
     | None, `Uniform ->
       (Grid.create ~size:grid_size ~max_pos:(Document.max_pos doc), None)
     | None, `Equidepth ->
-      let acc = Array.make (Int.max p 1) [] in
-      for v = 0 to n - 1 do
-        Predicate.dispatch_node disp doc v ~f:(fun u -> acc.(u) <- v :: acc.(u))
-      done;
-      let arrays = Array.map (fun l -> Array.of_list (List.rev l)) acc in
+      let per_chunk =
+        Pool.run ~domains ~tasks:ntasks (fun k ->
+            let { Chunking.lo; hi } = chunks.(k) in
+            let disp = Predicate.dispatch doc upreds in
+            let acc = Array.make (Int.max p 1) [] in
+            for v = lo to hi - 1 do
+              Predicate.dispatch_node disp doc v ~f:(fun u ->
+                  acc.(u) <- v :: acc.(u))
+            done;
+            ( Array.map (fun l -> Array.of_list (List.rev l)) (Array.sub acc 0 p),
+              Predicate.dispatch_evals disp ))
+      in
+      Array.iter (fun (_, e) -> pass1_evals := !pass1_evals + e) per_chunk;
+      let arrays =
+        Array.init p (fun u ->
+            Array.concat
+              (Array.to_list (Array.map (fun (a, _) -> a.(u)) per_chunk)))
+      in
       (* Quantile sample: starts and ends of the matched nodes, once per
          occurrence in the original predicate list (duplicates count
          twice, as in [summary_positions]); every node as fallback. *)
@@ -257,94 +441,36 @@ let build_fused ?grid:grid_override ?(grid_size = 10) ?(grid_kind = `Uniform)
           ~positions,
         Some arrays )
   in
-  (* Per-predicate builders and sweep state. *)
-  let hist_b = Array.init p (fun _ -> Position_histogram.builder grid) in
-  let lvl_b =
-    if with_levels then Some (Array.init p (fun _ -> Level_histogram.builder ()))
-    else None
+  let partials =
+    if ntasks = 0 then
+      [| sweep_range ~grid ~p ~schema ~with_levels ~upreds ~match_arrays doc
+           ~lo:0 ~hi:0 |]
+    else
+      Pool.run ~domains ~tasks:ntasks (fun k ->
+          let { Chunking.lo; hi } = chunks.(k) in
+          sweep_range ~grid ~p ~schema ~with_levels ~upreds ~match_arrays doc
+            ~lo ~hi)
   in
-  let cvg_b =
-    Array.init p (fun u ->
-        (* A schema override saying "overlaps" means the coverage histogram
-           can never be kept; skip its accumulation entirely. *)
-        match schema.(u) with
-        | Some false -> None
-        | Some true | None -> Some (Coverage_histogram.builder grid))
+  let merged = Builder_merge.merge partials in
+  let {
+    Builder_merge.p_hists = hist_b;
+    p_levels = lvl_b;
+    p_coverage = cvg_b;
+    p_pop = pop_b;
+    p_populations = populations;
+    p_counts = counts;
+    p_nesting = nesting;
+    p_evals = sweep_evals;
+  } =
+    merged
   in
-  let streams = Array.init p (fun _ -> Interval_ops.stream doc) in
-  let counts = Array.make (Int.max p 1) 0 in
-  let populations = Array.make (Grid.cells grid) 0.0 in
-  let pop_b = Position_histogram.builder grid in
-  let node_cell = Array.make n 0 in
-  (* The fill pass, shared by both grid kinds; [fill_matched] leaves the
-     indices of the predicates matching [v] in [matched_list.(0..k-1)]
-     (and sets their [matched] flags, cleared here after use). *)
-  let fill_pass fill_matched =
-    for v = 0 to n - 1 do
-      let idx =
-        let i, j =
-          Grid.cell_of_node grid ~start_pos:(Document.start_pos doc v)
-            ~end_pos:(Document.end_pos doc v)
-        in
-        Grid.index grid ~i ~j
-      in
-      node_cell.(v) <- idx;
-      populations.(idx) <- populations.(idx) +. 1.0;
-      Position_histogram.feed_cell pop_b idx;
-      let nmatched = fill_matched v in
-      for u = 0 to p - 1 do
-        let in_set = matched.(u) in
-        let nearest = Interval_ops.feed streams.(u) v ~in_set in
-        (match cvg_b.(u) with
-        | Some b when nearest >= 0 ->
-          Coverage_histogram.feed b ~covered:idx ~covering:node_cell.(nearest)
-        | Some _ | None -> ());
-        if in_set then begin
-          Position_histogram.feed_cell hist_b.(u) idx;
-          (match lvl_b with
-          | Some lb -> Level_histogram.feed lb.(u) (Document.level doc v)
-          | None -> ());
-          counts.(u) <- counts.(u) + 1
-        end
-      done;
-      for k = 0 to nmatched - 1 do
-        matched.(matched_list.(k)) <- false
-      done
-    done
-  in
-  (match match_arrays with
-  | None ->
-    fill_pass (fun v ->
-        let nmatched = ref 0 in
-        Predicate.dispatch_node disp doc v ~f:(fun u ->
-            matched.(u) <- true;
-            matched_list.(!nmatched) <- u;
-            incr nmatched);
-        !nmatched)
-  | Some arrays ->
-    (* Replay pass 1's matches through per-predicate cursors: the arrays
-       are in document order, so each head is compared against [v] once. *)
-    let cursor = Array.make (Int.max p 1) 0 in
-    fill_pass (fun v ->
-        let nmatched = ref 0 in
-        for u = 0 to p - 1 do
-          let arr = arrays.(u) in
-          if cursor.(u) < Array.length arr && Int.equal arr.(cursor.(u)) v
-          then begin
-            cursor.(u) <- cursor.(u) + 1;
-            matched.(u) <- true;
-            matched_list.(!nmatched) <- u;
-            incr nmatched
-          end
-        done;
-        !nmatched));
   let entries = Hashtbl.create 64 in
   Array.iteri
     (fun u (key, pred) ->
       let no_overlap =
         match schema.(u) with
         | Some b -> b
-        | None -> not (Interval_ops.nesting_seen streams.(u))
+        | None -> not nesting.(u)
       in
       let cvg =
         match cvg_b.(u) with
@@ -379,7 +505,7 @@ let build_fused ?grid:grid_override ?(grid_size = 10) ?(grid_kind = `Uniform)
             (match (grid_override, grid_kind) with
             | Some _, _ | None, `Uniform -> 1
             | None, `Equidepth -> 2);
-          predicate_evals = Predicate.dispatch_evals disp;
+          predicate_evals = !pass1_evals + sweep_evals;
           build_time = Sys.time () -. t0;
         };
     maint = None;
@@ -503,12 +629,15 @@ let apply ?(policy = `Threshold 0.5) t updates =
 
 (* Resolution order: catalog entry, then on-demand cache, then (for
    boolean combinations) compound estimation over resolved parts, and for
-   unknown leaves a build from the document that is cached for reuse. *)
-let histogram t pred =
+   unknown leaves a build from the document that is cached for reuse.
+   The catalog consulted (and mutated, by memoized coefficients and
+   on-demand builds) is an explicit argument so batch estimation can hand
+   each domain its own scratch; [histogram] passes the summary's own. *)
+let histogram_in hcat t pred =
   let lookup p =
     match find t p with
     | Some e -> Some e.hist
-    | None -> Catalog.find t.hcat (Predicate.name p)
+    | None -> Catalog.find hcat (Predicate.name p)
   in
   (* A boolean combination is decomposed (per Sec. 3.4) only when all its
      non-boolean leaves are resolvable; otherwise the whole predicate is
@@ -530,7 +659,7 @@ let histogram t pred =
            (Predicate.name p))
     | Some doc ->
       let h = Position_histogram.build doc ~grid:t.grid p in
-      Catalog.add t.hcat ~key:(Predicate.name p) h;
+      Catalog.add hcat ~key:(Predicate.name p) h;
       h
   in
   let base p =
@@ -544,6 +673,8 @@ let histogram t pred =
       | leaf -> Some (build_and_cache leaf))
   in
   Compound.estimate ~population:t.pop ~base pred
+
+let histogram t pred = histogram_in t.hcat t pred
 
 let coverage t pred =
   match find t pred with Some e -> e.cvg | None -> None
@@ -561,32 +692,36 @@ let has_no_overlap t pred =
 let node_count t pred = Position_histogram.total (histogram t pred)
 
 (* Level-position histograms are built lazily per predicate and cached:
-   they are only consulted under the Cell_level_scaled child mode. *)
-let position_levels t pred =
+   they are only consulted under the Cell_level_scaled child mode.  As
+   with [histogram_in], the cache is an explicit argument for the sake of
+   domain-local scratch. *)
+let position_levels_in lph_cache t pred =
   match t.doc with
   | None -> None
   | Some doc -> (
     let key = "lph:" ^ Predicate.name pred in
-    match Hashtbl.find_opt t.lph_cache key with
+    match Hashtbl.find_opt lph_cache key with
     | Some lph -> Some lph
     | None ->
       let lph = Level_position_histogram.build doc ~grid:t.grid pred in
-      Hashtbl.add t.lph_cache key lph;
+      Hashtbl.add lph_cache key lph;
       Some lph)
 
 let hist_catalog t = t.hcat
 
-let catalog t =
+let catalog_in hcat lph_cache t =
   {
-    Twig_estimator.hist = histogram t;
+    Twig_estimator.hist = histogram_in hcat t;
     coverage = coverage t;
     level = level t;
-    position_levels = position_levels t;
+    position_levels = position_levels_in lph_cache t;
     desc_coefs =
-      (fun p -> Catalog.descendant_coefficients t.hcat (Predicate.name p));
+      (fun p -> Catalog.descendant_coefficients hcat (Predicate.name p));
     anc_coefs =
-      (fun p -> Catalog.ancestor_coefficients t.hcat (Predicate.name p));
+      (fun p -> Catalog.ancestor_coefficients hcat (Predicate.name p));
   }
+
+let catalog t = catalog_in t.hcat t.lph_cache t
 
 let save_catalog t path = Catalog.save t.hcat path
 
@@ -597,6 +732,46 @@ let load_catalog path =
 let adopt_catalog t ~from = Catalog.absorb t.hcat ~from
 
 let estimate ?options t pattern = Twig_estimator.estimate ?options (catalog t) pattern
+
+(* One domain's scratch for a batch estimation: a fresh catalog holding
+   the same (never-mutated-during-estimation) histogram objects as the
+   summary's, plus a fresh level-position cache, so coefficient
+   memoization and on-demand builds stay domain-local.  Built
+   sequentially, before any domain is spawned. *)
+let scratch_view t =
+  let hcat = make_hist_catalog () in
+  List.iter
+    (fun key ->
+      match Catalog.find t.hcat key with
+      | Some h -> Catalog.add hcat ~key h
+      | None -> ())
+    (Catalog.keys t.hcat);
+  (hcat, Hashtbl.create 8)
+
+(* Estimates are pure functions of the (read-only) summary state —
+   memoized coefficients and on-demand histograms are deterministic — so
+   fanning the workload across domains returns, in input order, exactly
+   the floats [List.map (estimate t)] would: the differential QCheck
+   suite pins this bit for bit.  Scratch work is not written back to the
+   shared summary caches. *)
+let estimate_batch ?options ?(domains = 1) t patterns =
+  match patterns with
+  | [] -> []
+  | _ when domains <= 1 -> List.map (estimate ?options t) patterns
+  | _ ->
+    let pats = Array.of_list patterns in
+    let chunks = Chunking.ranges ~n:(Array.length pats) ~count:domains in
+    let ntasks = Array.length chunks in
+    let views = Array.init ntasks (fun _ -> scratch_view t) in
+    let per_chunk =
+      Pool.run ~domains ~tasks:ntasks (fun k ->
+          let { Chunking.lo; hi } = chunks.(k) in
+          let hcat, lph = views.(k) in
+          let cat = catalog_in hcat lph t in
+          Array.init (hi - lo) (fun i ->
+              Twig_estimator.estimate ?options cat pats.(lo + i)))
+    in
+    List.concat_map Array.to_list (Array.to_list per_chunk)
 
 let explain ?options t pattern =
   Twig_estimator.estimate_trace ?options (catalog t) pattern

@@ -20,6 +20,8 @@ val build :
   ?grid_kind:[ `Uniform | `Equidepth ] ->
   ?schema_no_overlap:(Predicate.t -> bool option) ->
   ?with_levels:bool ->
+  ?domains:int ->
+  ?chunk_size:int ->
   Document.t ->
   Predicate.t list ->
   t
@@ -44,7 +46,17 @@ val build :
     dispatching compiled predicates by the node's interned tag.  The
     result is bit-identical to {!build_legacy} — same histograms, coverage
     fractions, flags and totals — at a fraction of the traversals
-    (property-tested). *)
+    (property-tested).
+
+    [?domains] (default 1) partitions the sweep into contiguous node
+    chunks swept concurrently on that many OCaml domains
+    ({!Xmlest_parallel.Pool}); later chunks seed their interval streams
+    from the ancestor chain at their left boundary, and the per-chunk
+    builders merge in chunk-index order.  [?chunk_size] overrides the
+    one-chunk-per-domain plan with fixed-size chunks (any positive size),
+    exercised by the differential tests.  The result is {e bit-identical}
+    — {!to_string}-equal — to the sequential build for every domain count,
+    chunk size and grid kind (property-tested). *)
 
 val build_legacy :
   ?grid_size:int ->
@@ -132,6 +144,21 @@ val adopt_catalog : t -> from:Catalog.t -> int
 
 val estimate : ?options:Twig_estimator.options -> t -> Pattern.t -> float
 (** Estimate the answer size of a twig pattern. *)
+
+val estimate_batch :
+  ?options:Twig_estimator.options ->
+  ?domains:int ->
+  t ->
+  Pattern.t list ->
+  float list
+(** Estimate a workload of patterns, fanned across [?domains] (default 1)
+    OCaml domains, each with its own scratch coefficient catalog and
+    level-position cache so the memoized state is never shared.  Returns
+    the estimates in input order, bit-identical to
+    [List.map (estimate t)] (property-tested).  With [domains <= 1] this
+    {e is} [List.map (estimate t)]; with more, scratch work (memoized
+    coefficients, on-demand histograms) is discarded rather than written
+    back to the summary's shared caches. *)
 
 val check : t -> Pattern.t -> Pattern_check.diag list
 (** Static analysis of the pattern against this summary

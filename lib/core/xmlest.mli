@@ -61,6 +61,11 @@ module Update = Xmlest_maintain.Update
 module Staleness = Xmlest_maintain.Staleness
 module Maintenance = Xmlest_maintain.Apply
 
+(* Parallel substrate *)
+module Domain_pool = Xmlest_parallel.Pool
+module Chunking = Xmlest_parallel.Chunking
+module Builder_merge = Xmlest_parallel.Builder_merge
+
 (* Catalog *)
 module Summary = Summary
 module Construction_bench = Construction_bench

@@ -1,0 +1,54 @@
+open Xmlest_histogram
+
+type partial = {
+  p_hists : Position_histogram.builder array;
+  p_levels : Level_histogram.builder array option;
+  p_coverage : Coverage_histogram.builder option array;
+  p_pop : Position_histogram.builder;
+  p_populations : float array;
+  p_counts : int array;
+  p_nesting : bool array;
+  mutable p_evals : int;
+}
+
+(* All counts involved are integers fed one unit at a time, so the
+   per-cell additions below are exact and merging in chunk order equals
+   the sequential sweep bit for bit (see the .mli). *)
+let merge_one acc p =
+  if not (Int.equal (Array.length acc.p_hists) (Array.length p.p_hists)) then
+    invalid_arg "Builder_merge.merge: predicate count mismatch";
+  Array.iteri
+    (fun u b -> Position_histogram.merge_into ~into:acc.p_hists.(u) b)
+    p.p_hists;
+  (match (acc.p_levels, p.p_levels) with
+  | Some a, Some b ->
+    Array.iteri (fun u lb -> Level_histogram.merge_into ~into:a.(u) lb) b
+  | None, None -> ()
+  | Some _, None | None, Some _ ->
+    invalid_arg "Builder_merge.merge: level builder mismatch");
+  Array.iteri
+    (fun u cb ->
+      match (acc.p_coverage.(u), cb) with
+      | Some a, Some b -> Coverage_histogram.merge_into ~into:a b
+      | None, None -> ()
+      | Some _, None | None, Some _ ->
+        invalid_arg "Builder_merge.merge: coverage builder mismatch")
+    p.p_coverage;
+  Position_histogram.merge_into ~into:acc.p_pop p.p_pop;
+  if not (Int.equal (Array.length acc.p_populations) (Array.length p.p_populations))
+  then invalid_arg "Builder_merge.merge: population length mismatch";
+  Array.iteri
+    (fun c v -> acc.p_populations.(c) <- acc.p_populations.(c) +. v)
+    p.p_populations;
+  Array.iteri (fun u c -> acc.p_counts.(u) <- acc.p_counts.(u) + c) p.p_counts;
+  Array.iteri (fun u b -> if b then acc.p_nesting.(u) <- true) p.p_nesting;
+  acc.p_evals <- acc.p_evals + p.p_evals
+
+let merge parts =
+  if Int.equal (Array.length parts) 0 then
+    invalid_arg "Builder_merge.merge: no partials";
+  let acc = parts.(0) in
+  for k = 1 to Array.length parts - 1 do
+    merge_one acc parts.(k)
+  done;
+  acc

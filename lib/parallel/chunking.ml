@@ -1,0 +1,20 @@
+type range = { lo : int; hi : int }
+
+let ranges ~n ~count =
+  if n <= 0 then [||]
+  else begin
+    let count = Int.max 1 (Int.min count n) in
+    let base = n / count and extra = n mod count in
+    Array.init count (fun k ->
+        let lo = (k * base) + Int.min k extra in
+        { lo; hi = lo + base + (if k < extra then 1 else 0) })
+  end
+
+let ranges_of_size ~n ~size =
+  if n <= 0 then [||]
+  else begin
+    let size = Int.max 1 size in
+    Array.init
+      ((n + size - 1) / size)
+      (fun k -> { lo = k * size; hi = Int.min n ((k + 1) * size) })
+  end

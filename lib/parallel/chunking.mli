@@ -1,0 +1,20 @@
+(** Contiguous chunk plans for partitioned document sweeps.
+
+    A chunk plan splits the node index range [[0, n)] into contiguous
+    half-open ranges, in document order.  The plan is a pure function of
+    [n] and the requested count or size — never of scheduling — so a
+    partitioned sweep that merges per-chunk results in plan order is
+    deterministic regardless of which domain processed which chunk. *)
+
+type range = { lo : int; hi : int }
+(** Half-open: the chunk covers node indices [lo .. hi - 1]. *)
+
+val ranges : n:int -> count:int -> range array
+(** [count] near-equal contiguous chunks covering [[0, n)], the first
+    [n mod count] chunks one element longer.  [count] is clamped to
+    [1 .. n]; the empty array for [n <= 0]. *)
+
+val ranges_of_size : n:int -> size:int -> range array
+(** Chunks of [size] consecutive nodes (the last one possibly shorter),
+    covering [[0, n)].  [size] is clamped to at least 1; the empty array
+    for [n <= 0]. *)

@@ -1,0 +1,44 @@
+(* The pool hands out task indices through one atomic counter; every
+   result lands in the slot of its index, so merge order downstream never
+   depends on which domain ran what.  Concurrency is confined to this
+   module (lint rule [domains]). *)
+
+let recommended_domains () = Domain.recommended_domain_count ()
+
+let run ~domains ~tasks f =
+  if tasks <= 0 then [||]
+  else begin
+    let workers = Int.max 1 (Int.min domains tasks) in
+    if workers <= 1 then Array.init tasks f
+    else begin
+      let results = Array.make tasks None in
+      let next = Atomic.make 0 in
+      let failure = Atomic.make None in
+      let worker () =
+        let continue = ref true in
+        while !continue do
+          match Atomic.get failure with
+          | Some _ -> continue := false
+          | None -> (
+            let i = Atomic.fetch_and_add next 1 in
+            if i >= tasks then continue := false
+            else
+              match f i with
+              | v -> results.(i) <- Some v
+              | exception e ->
+                let bt = Printexc.get_raw_backtrace () in
+                ignore (Atomic.compare_and_set failure None (Some (e, bt)));
+                continue := false)
+        done
+      in
+      let spawned = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      Array.iter Domain.join spawned;
+      (match Atomic.get failure with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ());
+      Array.map
+        (fun slot -> match slot with Some v -> v | None -> assert false)
+        results
+    end
+  end

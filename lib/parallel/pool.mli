@@ -1,0 +1,25 @@
+(** Small domain pool for deterministic fan-out.
+
+    The one concurrency primitive of the code base: a fixed set of OCaml 5
+    domains pulls numbered tasks from a shared counter and deposits each
+    result in the slot of its task index.  Work distribution (which domain
+    runs which task) is scheduling-dependent; the {e result array} is not —
+    slot [i] always holds [f i], so callers that combine results in index
+    order are deterministic by construction.  This module is the only
+    place in the library allowed to touch [Domain]/[Atomic] (enforced by
+    the [domains] lint rule). *)
+
+val recommended_domains : unit -> int
+(** The runtime's recommendation for this machine
+    ([Domain.recommended_domain_count]), the natural default for a
+    [--domains 0] style "auto" setting. *)
+
+val run : domains:int -> tasks:int -> (int -> 'a) -> 'a array
+(** [run ~domains ~tasks f] evaluates [f i] for every [i] in [0 .. tasks-1]
+    on at most [domains] domains (clamped to [1 .. tasks]; [domains <= 1]
+    runs everything on the calling domain without spawning) and returns
+    [[| f 0; f 1; ... |]] in task order.  [f] must only perform
+    domain-safe work: tasks run concurrently, so shared state must be
+    read-only.  If some [f i] raises, the first exception observed is
+    re-raised after every domain has been joined; which tasks completed
+    before it is unspecified. *)

@@ -391,7 +391,7 @@ let test_advisor_textless_tags () =
 
 (* --- Fused vs legacy construction ----------------------------------------- *)
 
-let qcheck = QCheck_alcotest.to_alcotest
+let qcheck = Test_util.to_alcotest (* seeded: see test_util.ml *)
 
 let summaries_identical a b =
   String.equal (Xmlest.Summary.to_string a) (Xmlest.Summary.to_string b)
@@ -460,6 +460,103 @@ let test_fused_equals_legacy_datasets () =
             (summaries_identical fused legacy))
         [ `Uniform; `Equidepth ])
     cases
+
+(* --- Parallel vs sequential construction and estimation --------------- *)
+
+(* The partitioned build must be [to_string]-bit-identical to the
+   sequential one (and hence to the legacy one) for every domain count,
+   both grid kinds, and adversarial chunk sizes: 1 (every node its own
+   chunk), the node count (one chunk), and a prime that misaligns chunk
+   boundaries with the document structure. *)
+let prop_parallel_build_bit_identical =
+  QCheck.Test.make ~count:50
+    ~name:"parallel build = sequential build (bit-identical, random docs)"
+    QCheck.(pair (Test_util.elem_arbitrary ~max_nodes:60 ()) (int_bound 7))
+    (fun (elem, cfg) ->
+      let doc = Xmlest.Document.of_elem elem in
+      let n = Xmlest.Document.size doc in
+      let grid_size = min 8 (Xmlest.Document.max_pos doc + 1) in
+      let grid_kind = if cfg land 1 = 0 then `Uniform else `Equidepth in
+      let with_levels = cfg land 2 = 0 in
+      let schema_no_overlap p =
+        if cfg land 4 = 0 then None
+        else if Xmlest.Predicate.equal p (tagp "a") then Some false
+        else None
+      in
+      let preds =
+        [
+          tagp "a";
+          tagp "b";
+          Xmlest.Predicate.Or (tagp "c", tagp "d");
+          Xmlest.Predicate.And (tagp "a", Xmlest.Predicate.Level_eq 1);
+          tagp "a";
+          tagp "nosuchtag";
+        ]
+      in
+      let build ?domains ?chunk_size () =
+        Xmlest.Summary.build ~grid_size ~grid_kind ~schema_no_overlap
+          ~with_levels ?domains ?chunk_size doc preds
+      in
+      let seq = build () in
+      let legacy =
+        Xmlest.Summary.build_legacy ~grid_size ~grid_kind ~schema_no_overlap
+          ~with_levels doc preds
+      in
+      List.for_all
+        (fun d ->
+          let par = build ~domains:d () in
+          summaries_identical seq par && summaries_identical legacy par)
+        [ 1; 2; 4; 7 ]
+      && List.for_all
+           (fun chunk_size ->
+             summaries_identical seq (build ~domains:4 ~chunk_size ()))
+           [ 1; Int.max n 1; 13 ])
+
+let prop_estimate_batch_bit_identical =
+  QCheck.Test.make ~count:40
+    ~name:"estimate_batch = List.map estimate (bit-identical)"
+    (Test_util.elem_arbitrary ~max_nodes:60 ())
+    (fun elem ->
+      let doc = Xmlest.Document.of_elem elem in
+      let grid_size = min 8 (Xmlest.Document.max_pos doc + 1) in
+      let s = Xmlest.Summary.build ~grid_size doc [ tagp "a"; tagp "b"; tagp "c" ] in
+      let pats =
+        (* //d//e exercises on-demand histogram builds inside the
+           domain-local scratch catalogs *)
+        List.map Xmlest.Pattern_parser.pattern_exn
+          [ "//a"; "//a//b"; "//b//c"; "//a//b//c"; "//a/b"; "//c"; "//d//e" ]
+      in
+      let seq = List.map (Xmlest.Summary.estimate s) pats in
+      List.for_all
+        (fun domains ->
+          List.for_all2 Float.equal seq
+            (Xmlest.Summary.estimate_batch ~domains s pats))
+        [ 1; 2; 4; 7 ])
+
+let test_parallel_build_datasets () =
+  let doc = Xmlest.Document.of_elem (Xmlest.Dblp_gen.generate_scaled 0.05) in
+  let preds =
+    [
+      tagp "article";
+      tagp "author";
+      tagp "title";
+      Xmlest.Predicate.text_prefix ~tag:"cite" "conf";
+    ]
+  in
+  List.iter
+    (fun grid_kind ->
+      let seq = Xmlest.Summary.build ~grid_kind doc preds in
+      List.iter
+        (fun domains ->
+          Alcotest.(check bool)
+            (Printf.sprintf "dblp %s d=%d"
+               (match grid_kind with `Uniform -> "uniform" | _ -> "equidepth")
+               domains)
+            true
+            (summaries_identical seq
+               (Xmlest.Summary.build ~grid_kind ~domains doc preds)))
+        [ 2; 4; 16 ])
+    [ `Uniform; `Equidepth ]
 
 let test_build_stats () =
   let doc = Test_util.fig1_doc () in
@@ -616,6 +713,25 @@ let test_repl_equidepth_summarize () =
   Alcotest.(check bool) "equidepth flag" true
     (contains "equi-depth" (run "summarize 12 equidepth"))
 
+let test_repl_set_domains () =
+  let state = Xmlest.Repl.create () in
+  let run cmd = Xmlest.Repl.execute state cmd in
+  ignore (run "gen staff");
+  ignore (run "summarize");
+  let seq = run "estimate //department//employee" in
+  Alcotest.(check string) "set domains echoes" "domains: 3" (run "set domains 3");
+  Alcotest.(check bool) "summarize reports domains" true
+    (contains "3 domains" (run "summarize"));
+  (* the parallel-built summary estimates exactly like the sequential one *)
+  Alcotest.(check string) "same estimate" seq
+    (run "estimate //department//employee");
+  Alcotest.(check bool) "rejects garbage" true
+    (contains "error" (run "set domains many"));
+  Alcotest.(check bool) "rejects negatives" true
+    (contains "error" (run "set domains -2"));
+  Alcotest.(check bool) "0 = recommended" true
+    (contains "recommended" (run "set domains 0"))
+
 (* --- Static analysis before estimation --------------------------------- *)
 
 (* Random descendant/child twig over the generator's tag pool, so patterns
@@ -747,6 +863,10 @@ let () =
       ( "construction",
         [
           qcheck prop_fused_equals_legacy;
+          qcheck prop_parallel_build_bit_identical;
+          qcheck prop_estimate_batch_bit_identical;
+          Alcotest.test_case "parallel = sequential on datasets" `Quick
+            test_parallel_build_datasets;
           Alcotest.test_case "fused = legacy on datasets" `Quick
             test_fused_equals_legacy_datasets;
           Alcotest.test_case "build stats" `Quick test_build_stats;
@@ -774,6 +894,7 @@ let () =
           Alcotest.test_case "summary roundtrip" `Quick test_repl_roundtrip_summary;
           Alcotest.test_case "errors" `Quick test_repl_errors;
           Alcotest.test_case "equidepth summarize" `Quick test_repl_equidepth_summarize;
+          Alcotest.test_case "set domains" `Quick test_repl_set_domains;
           Alcotest.test_case "hist command" `Quick test_repl_hist_command;
           Alcotest.test_case "catalog commands" `Quick test_repl_catalog_commands;
         ] );

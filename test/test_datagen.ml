@@ -4,7 +4,7 @@
 open Xmlest_core
 
 let check = Alcotest.check
-let qcheck = QCheck_alcotest.to_alcotest
+let qcheck = Xmlest_test_util.Test_util.to_alcotest (* seeded: see test_util.ml *)
 
 (* --- Splitmix ---------------------------------------------------------- *)
 

@@ -6,7 +6,7 @@ open Xmlest_core
 open Xmlest_test_util
 
 let check = Alcotest.check
-let qcheck = QCheck_alcotest.to_alcotest
+let qcheck = Test_util.to_alcotest (* seeded: see test_util.ml *)
 
 (* Clamp to the position count so random (doc, size) draws stay legal. *)
 let grid_of doc size =

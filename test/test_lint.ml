@@ -73,6 +73,25 @@ let test_obj () =
   check lines "Obj.magic" [ 1 ] (lines_of "obj" "let f x = Obj.magic x\n");
   check lines "Obj.repr" [ 1 ] (lines_of "obj" "let f x = Obj.repr x\n")
 
+let test_domains () =
+  check lines "Domain.spawn" [ 1 ]
+    (lines_of "domains" "let d = Domain.spawn f\n");
+  check lines "Mutex/Condition/Atomic" [ 1; 2; 3 ]
+    (lines_of "domains"
+       "let m = Mutex.create ()\n\
+        let c = Condition.create ()\n\
+        let a = Atomic.make 0\n");
+  check lines "Stdlib-qualified" [ 1 ]
+    (lines_of "domains" "let a = Stdlib.Atomic.make 0\n");
+  check lines "allowed inside lib/parallel/" []
+    (lines_of ~file:"lib/parallel/pool.ml" "domains"
+       "let d = Domain.spawn f\nlet a = Atomic.make 0\n");
+  check lines "pool consumers pass" []
+    (lines_of "domains" "let r = Xmlest_parallel.Pool.run ~domains:4 ~tasks:4 f\n");
+  check lines "suppressible" []
+    (lines_of "domains"
+       "(* lint: allow domains *)\nlet d = Domain.spawn f\n")
+
 let test_parse_error () =
   check lines "unparsable implementation" [ 1 ]
     (lines_of "parse-error" "let let = in\n");
@@ -150,7 +169,7 @@ let test_rules_documented () =
       check Alcotest.bool ("documented: " ^ rule) true
         (List.exists (String.equal rule) advertised))
     [ "poly-compare"; "poly-eq"; "float-eq"; "partial"; "catch-all"; "obj";
-      "missing-mli"; "parse-error" ]
+      "domains"; "missing-mli"; "parse-error" ]
 
 let () =
   Alcotest.run "lint"
@@ -163,6 +182,7 @@ let () =
           Alcotest.test_case "partial" `Quick test_partial;
           Alcotest.test_case "catch-all" `Quick test_catch_all;
           Alcotest.test_case "obj" `Quick test_obj;
+          Alcotest.test_case "domains" `Quick test_domains;
           Alcotest.test_case "parse-error" `Quick test_parse_error;
           Alcotest.test_case "rule table" `Quick test_rules_documented;
         ] );

@@ -7,7 +7,7 @@ open Xmlest_core
 open Xmlest_test_util
 
 let check = Alcotest.check
-let qcheck = QCheck_alcotest.to_alcotest
+let qcheck = Test_util.to_alcotest (* seeded: see test_util.ml *)
 let tagp = Xmlest.Predicate.tag
 
 module D = Xmlest.Document
@@ -216,9 +216,14 @@ let prop_delete_structure_and_labels =
 let base_preds () =
   [ Xmlest.Predicate.True; tagp "a"; tagp "b"; tagp "c" ]
 
-let summary_of doc =
+(* [?domains] selects the build path the maintained summary comes from:
+   the default sequential sweep or the partitioned one.  Maintenance
+   invariants must hold identically for both — the rebuild reference is
+   always sequential, so the parallel variants below also cross-check the
+   two construction paths through the whole apply pipeline. *)
+let summary_of ?domains doc =
   let gs = Int.min 8 (D.max_pos doc + 1) in
-  Xmlest.Summary.build ~grid_size:gs doc (base_preds ())
+  Xmlest.Summary.build ~grid_size:gs ?domains doc (base_preds ())
 
 let summaries_identical a b =
   String.equal (Xmlest.Summary.to_string a) (Xmlest.Summary.to_string b)
@@ -266,12 +271,12 @@ let stream ~k ~pick rng doc =
   in
   go doc k []
 
-let exact_stream_prop ~name pick =
+let exact_stream_prop ~name ?domains pick =
   QCheck.Test.make ~name ~count:100
     QCheck.(pair (Test_util.elem_arbitrary ~max_nodes:40 ()) (int_bound 10000))
     (fun (elem, seed) ->
       let doc = D.of_elem elem in
-      let s = summary_of doc in
+      let s = summary_of ?domains doc in
       let rng = Xmlest.Splitmix.create seed in
       let ups = stream ~k:4 ~pick rng doc in
       QCheck.assume (List.length ups > 0);
@@ -290,23 +295,42 @@ let prop_append_stream_exact =
   exact_stream_prop ~name:"append-only stream: apply = same-grid rebuild"
     (fun rng doc -> Some (random_append rng doc))
 
+let mixed_pick rng doc =
+  match Xmlest.Splitmix.int rng 3 with
+  | 0 when D.size doc > 1 -> Some (random_delete rng doc)
+  | 1 -> Some (random_append rng doc)
+  | _ -> Some (random_replace rng (D.size doc) doc)
+
 let prop_mixed_exact_stream =
   exact_stream_prop ~name:"delete/append/replace stream: apply = rebuild"
-    (fun rng doc ->
-      match Xmlest.Splitmix.int rng 3 with
-      | 0 when D.size doc > 1 -> Some (random_delete rng doc)
-      | 1 -> Some (random_append rng doc)
-      | _ -> Some (random_replace rng (D.size doc) doc))
+    mixed_pick
+
+(* The same exact-stream invariants, with the maintained summary built by
+   the partitioned sweep: the updates apply to a parallel-built summary
+   and the result must still be bit-identical to a sequential same-grid
+   rebuild of the edited document. *)
+let prop_delete_stream_exact_parallel =
+  exact_stream_prop ~domains:4
+    ~name:"delete-only stream, parallel-built summary: apply = rebuild"
+    (fun rng doc -> if D.size doc <= 1 then None else Some (random_delete rng doc))
+
+let prop_append_stream_exact_parallel =
+  exact_stream_prop ~domains:4
+    ~name:"append-only stream, parallel-built summary: apply = rebuild"
+    (fun rng doc -> Some (random_append rng doc))
+
+let prop_mixed_exact_stream_parallel =
+  exact_stream_prop ~domains:4
+    ~name:"mixed stream, parallel-built summary: apply = rebuild" mixed_pick
 
 (* --- Interior inserts: drift-bounded, totals exact --------------------- *)
 
-let prop_interior_insert_drift_bound =
-  QCheck.Test.make ~name:"interior inserts: L1 <= 2*drift, totals exact"
-    ~count:100
+let interior_insert_drift_prop ~name ?domains () =
+  QCheck.Test.make ~name ~count:100
     QCheck.(pair (Test_util.elem_arbitrary ~max_nodes:40 ()) (int_bound 10000))
     (fun (elem, seed) ->
       let doc = D.of_elem elem in
-      let s = summary_of doc in
+      let s = summary_of ?domains doc in
       let rng = Xmlest.Splitmix.create seed in
       let ups =
         stream ~k:4
@@ -359,6 +383,15 @@ let prop_interior_insert_drift_bound =
           | None, None -> true
           | _ -> false))
         (base_preds ()))
+
+let prop_interior_insert_drift_bound =
+  interior_insert_drift_prop
+    ~name:"interior inserts: L1 <= 2*drift, totals exact" ()
+
+let prop_interior_insert_drift_bound_parallel =
+  interior_insert_drift_prop ~domains:4
+    ~name:"interior inserts on a parallel-built summary: drift bound holds"
+    ()
 
 (* --- Staleness policies ------------------------------------------------ *)
 
@@ -583,10 +616,14 @@ let () =
           qcheck prop_delete_stream_exact;
           qcheck prop_append_stream_exact;
           qcheck prop_mixed_exact_stream;
+          qcheck prop_delete_stream_exact_parallel;
+          qcheck prop_append_stream_exact_parallel;
+          qcheck prop_mixed_exact_stream_parallel;
         ] );
       ( "drift",
         [
           qcheck prop_interior_insert_drift_bound;
+          qcheck prop_interior_insert_drift_bound_parallel;
           Alcotest.test_case "staleness policies" `Quick test_staleness_policies;
           Alcotest.test_case "threshold triggers rebuild" `Quick
             test_threshold_policy_triggers;

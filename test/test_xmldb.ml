@@ -5,7 +5,7 @@ open Xmlest_core
 open Xmlest_test_util
 
 let check = Alcotest.check
-let qcheck = QCheck_alcotest.to_alcotest
+let qcheck = Test_util.to_alcotest (* seeded: see test_util.ml *)
 
 (* --- Elem ------------------------------------------------------------ *)
 

@@ -2,6 +2,37 @@
 
 open Xmlest_core
 
+(* --- Deterministic QCheck seeding ------------------------------------- *)
+
+(* Every QCheck suite runs from one fixed seed so failures reproduce
+   across machines and runs; [QCHECK_SEED] overrides it (same variable
+   qcheck itself honors).  The seed is printed on failure, so a shrunk
+   counterexample can be replayed with
+   [QCHECK_SEED=<seed> dune runtest]. *)
+let qcheck_seed =
+  match Sys.getenv_opt "QCHECK_SEED" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some seed -> seed
+    | None -> 0x5eed)
+  | None -> 0x5eed
+
+let to_alcotest test =
+  let name, speed, run =
+    QCheck_alcotest.to_alcotest
+      ~rand:(Random.State.make [| qcheck_seed |])
+      test
+  in
+  let run switch =
+    try run switch
+    with e ->
+      Printf.eprintf
+        "[qcheck] failing run used seed %d (set QCHECK_SEED to replay)\n%!"
+        qcheck_seed;
+      raise e
+  in
+  (name, speed, run)
+
 (* The example document of the paper's Fig. 1: a department with faculty,
    staff, lecturer, research scientist; faculty have TAs and RAs. *)
 let fig1 () =

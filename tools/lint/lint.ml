@@ -26,6 +26,9 @@ let rules =
     ("partial", "partial Stdlib call (List.hd/List.tl/Option.get)");
     ("catch-all", "catch-all exception handler: name the exceptions you expect");
     ("obj", "use of Obj defeats the type system");
+    ("domains",
+     "Domain/Mutex/Condition/Atomic outside lib/parallel/: route \
+      concurrency through the pool library");
     ("missing-mli", "every module under lib/ must have an interface");
     ("parse-error", "file does not parse");
   ]
@@ -143,6 +146,33 @@ let partial_fns =
 
 let mem_string x l = List.exists (String.equal x) l
 
+(* Concurrency primitives are confined to lib/parallel/ — everywhere else
+   bit-identity of results is argued from strictly sequential, deterministic
+   code, and a stray Domain.spawn or shared Atomic would silently void that
+   argument.  Matched on the qualifying module of the path (optionally
+   through Stdlib), so [Domain.spawn], [Stdlib.Atomic.make], [Mutex.lock]
+   all fire while a local [module Pool = ...] alias does not hide one. *)
+let concurrency_modules = [ "Domain"; "Mutex"; "Condition"; "Atomic" ]
+
+let is_concurrency_path txt =
+  let rec segments = function
+    | Longident.Lident s -> [ s ]
+    | Longident.Ldot (p, s) -> segments p @ [ s ]
+    | Longident.Lapply (p, _) -> segments p
+  in
+  match segments txt with
+  | "Stdlib" :: m :: _ :: _ -> mem_string m concurrency_modules
+  | m :: _ :: _ -> mem_string m concurrency_modules
+  | _ -> false
+
+let in_parallel_lib file =
+  let rec scan = function
+    | "lib" :: "parallel" :: _ -> true
+    | _ :: rest -> scan rest
+    | [] -> false
+  in
+  scan (String.split_on_char '/' file)
+
 (* Is the expression a literal-constant operand that exempts =/<> from
    [poly-eq]?  Constants, nullary constructors ([], None, true, ...) and
    nullary polymorphic variants qualify. *)
@@ -186,6 +216,11 @@ let findings_of_ast ~file ~allows ast_iter_input =
         (Printf.sprintf "partial function `%s' (match on the shape instead)" path)
     else if String.equal (path_root txt) "Obj" then
       report loc "obj" (Printf.sprintf "`%s'" path)
+    else if is_concurrency_path txt && not (in_parallel_lib file) then
+      report loc "domains"
+        (Printf.sprintf
+           "`%s': domain/concurrency primitives are confined to lib/parallel/"
+           path)
   in
   let check_eq op fn_loc whole_loc lhs rhs =
     Hashtbl.replace handled (loc_key fn_loc) ();
