@@ -132,6 +132,36 @@ let build_summary ?(domains = 1) doc ~grid ~equidepth ~content preds =
     Printf.eprintf "%s\n" msg;
     exit 1
 
+(* Streamed predicate discovery: one SAX pass over the file collecting
+   the distinct element tags, so the out-of-core build never needs the
+   materialized document that [tag_predicates] reads. *)
+let streamed_tag_predicates file =
+  let ic = open_in file in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  let sax = Xmlest.Sax.of_channel ic in
+  let seen = Hashtbl.create 64 in
+  let order = ref [] in
+  (try
+     Xmlest.Sax.fold
+       (fun () ev ->
+         match ev with
+         | Xmlest.Sax.Open { tag; _ } ->
+           if not (Hashtbl.mem seen tag) then begin
+             Hashtbl.add seen tag ();
+             order := tag :: !order
+           end
+         | Xmlest.Sax.Text _ | Xmlest.Sax.Close -> ())
+       () sax
+   with Xmlest.Xml_parser.Parse_error e ->
+     Format.eprintf "%a@." Xmlest.Xml_parser.pp_error e;
+     exit 1);
+  List.rev_map Xmlest.Predicate.tag !order
+
+let save_summary summary output =
+  if Filename.check_suffix output ".xsum" then
+    Xmlest.Summary.save_store summary output
+  else Xmlest.Summary.save summary output
+
 let build_summary_cmd =
   let file =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
@@ -139,15 +169,49 @@ let build_summary_cmd =
   in
   let output =
     Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT"
-           ~doc:"Where to write the summary.")
+           ~doc:"Where to write the summary.  A '.xsum' suffix selects the \
+                 memory-mapped binary store; anything else the text format.")
   in
-  let run file grid equidepth content domains output =
-    let doc = read_document file in
-    let domains = resolve_domains domains in
+  let stream =
+    Arg.(value & flag & info [ "stream" ]
+           ~doc:"Build out-of-core: parse FILE as a SAX event stream and \
+                 never materialize the document, so memory stays \
+                 O(element depth + summary size).  Bit-identical to the \
+                 in-memory build.  Incompatible with --content-predicates \
+                 and --domains > 1.")
+  in
+  let run file grid equidepth content domains output stream =
     let summary =
-      build_summary ~domains doc ~grid ~equidepth ~content (tag_predicates doc)
+      if stream then begin
+        if content then begin
+          Printf.eprintf
+            "--stream is incompatible with --content-predicates (the \
+             advisor scans the materialized document)\n";
+          exit 1
+        end;
+        if domains <> 1 && resolve_domains domains <> 1 then begin
+          Printf.eprintf "--stream builds sequentially; drop --domains\n";
+          exit 1
+        end;
+        let preds = streamed_tag_predicates file in
+        let grid_kind = if equidepth then `Equidepth else `Uniform in
+        try Xmlest.Summary.build_stream_file ~grid_size:grid ~grid_kind file preds
+        with
+        | Invalid_argument msg | Failure msg ->
+          Printf.eprintf "%s\n" msg;
+          exit 1
+        | Xmlest.Xml_parser.Parse_error e ->
+          Format.eprintf "%a@." Xmlest.Xml_parser.pp_error e;
+          exit 1
+      end
+      else begin
+        let doc = read_document file in
+        let domains = resolve_domains domains in
+        build_summary ~domains doc ~grid ~equidepth ~content
+          (tag_predicates doc)
+      end
     in
-    Xmlest.Summary.save summary output;
+    save_summary summary output;
     Printf.printf "wrote %s: %d predicates, %d bytes of histograms (file %d bytes)\n"
       output
       (List.length (Xmlest.Summary.predicates summary))
@@ -160,7 +224,7 @@ let build_summary_cmd =
   in
   Cmd.v info
     Term.(const run $ file $ grid_arg $ equidepth_arg $ content_arg
-          $ domains_arg $ output)
+          $ domains_arg $ output $ stream)
 
 (* --- estimate ---------------------------------------------------------- *)
 
@@ -173,6 +237,14 @@ let estimate_cmd =
     Arg.(value & flag & info [ "summary" ]
            ~doc:"Treat FILE as a summary saved by build-summary instead of \
                  an XML document (no document access; --exact unavailable).")
+  in
+  let from_store =
+    Arg.(value & flag & info [ "store" ]
+           ~doc:"Treat FILE as a memory-mapped binary summary store \
+                 (.xsum, written by build-summary -o FILE.xsum).  Opens in \
+                 O(header) time: histogram cells stay in the mapped file \
+                 and are read on demand.  Like --summary, no document \
+                 access.")
   in
   let query =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY"
@@ -205,12 +277,15 @@ let estimate_cmd =
                  when present, saved back afterwards, so repeated \
                  invocations reuse the coefficient arrays.")
   in
-  let run file from_summary query grid equidepth domains exact no_coverage
-      explain check catalog_file =
+  let run file from_summary from_store query grid equidepth domains exact
+      no_coverage explain check catalog_file =
     let pattern = parse_query query in
     let summary, doc =
-      if from_summary then begin
-        match Xmlest.Summary.load file with
+      if from_summary || from_store then begin
+        let load =
+          if from_store then Xmlest.Summary.load_store else Xmlest.Summary.load
+        in
+        match load file with
         | Ok s -> (s, None)
         | Error e ->
           Printf.eprintf "cannot load summary %s: %s\n" file e;
@@ -283,8 +358,9 @@ let estimate_cmd =
             or a saved summary."
   in
   Cmd.v info
-    Term.(const run $ file $ from_summary $ query $ grid_arg $ equidepth_arg
-          $ domains_arg $ exact $ no_coverage $ explain $ check $ catalog_file)
+    Term.(const run $ file $ from_summary $ from_store $ query $ grid_arg
+          $ equidepth_arg $ domains_arg $ exact $ no_coverage $ explain
+          $ check $ catalog_file)
 
 (* --- plan -------------------------------------------------------------- *)
 

@@ -36,7 +36,8 @@ let help =
       "  staleness                      drift accrued since the summary was (re)built";
       "  summary info                   grid, predicates, build and staleness counters";
       "  save-summary <file>            persist the summary";
-      "  load-summary <file>            load a persisted summary";
+      "  load-summary <file>            load a persisted summary (.xsum maps \
+       the binary store)";
       "  catalog stats                  histogram-catalog cache counters";
       "  catalog reset                  zero the cache counters";
       "  catalog save <file>            persist histograms + cached coefficients";
@@ -310,7 +311,10 @@ let cmd_summary_info state =
       (match Summary.stats summary with
       | Some st ->
         Printf.sprintf "built: %s path, %d passes, %d predicate evals, %.4fs"
-          (match st.Summary.path with `Fused -> "fused" | `Legacy -> "legacy")
+          (match st.Summary.path with
+          | `Fused -> "fused"
+          | `Legacy -> "legacy"
+          | `Streamed -> "streamed")
           st.Summary.passes st.Summary.predicate_evals st.Summary.build_time
       | None -> "built: (loaded summary, no construction stats)");
       (match Summary.staleness summary with
@@ -324,12 +328,17 @@ let cmd_summary_info state =
     ]
 
 let cmd_load_summary state path =
-  match Summary.load path with
+  let load =
+    if Filename.check_suffix path ".xsum" then Summary.load_store
+    else Summary.load
+  in
+  match load path with
   | Ok s ->
     state.summary <- Some s;
-    Printf.sprintf "summary: %d predicates, %d bytes"
+    Printf.sprintf "summary: %d predicates, %d bytes%s"
       (List.length (Summary.predicates s))
       (Summary.storage_bytes s)
+      (if Filename.check_suffix path ".xsum" then " (mapped store)" else "")
   | Error msg -> reply "error: %s" msg
   | exception Sys_error msg -> reply "error: %s" msg
 

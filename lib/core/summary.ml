@@ -15,7 +15,7 @@ type entry = {
 }
 
 type build_stats = {
-  path : [ `Fused | `Legacy ];
+  path : [ `Fused | `Legacy | `Streamed ];
   passes : int;
   predicate_evals : int;
   build_time : float;
@@ -512,6 +512,385 @@ let build_fused ?grid:grid_override ?(grid_size = 10) ?(grid_kind = `Uniform)
   }
 
 let build = build_fused
+
+(* --- Out-of-core streaming construction ------------------------------- *)
+
+(* The streaming build consumes SAX events and never materializes a
+   [Document.t]: memory stays O(element depth + summary size) for a
+   document of any length.  A node's predicate match status is decidable
+   only at its close event (its character data is complete only then), so
+   everything downstream runs in end-position (post-order) order — the
+   builders are all order-insensitive integer accumulators, so the
+   finished histograms are bit-identical to the in-memory build's
+   pre-order feeds (the differential QCheck suite pins [to_string]
+   equality for both grid kinds).
+
+   Pass A parses once, evaluates the unique predicates per close event,
+   and spills one fixed-size record per node — start, end, level, match
+   bitmask — to a temp file in post-order.  The grid is then derived
+   (equi-depth replays the spill once more for the quantile positions),
+   and pass B replays the spill through the shared fused builders.
+
+   Coverage needs each covered node's *nearest* strict P-ancestor, which
+   is unknowable at the node's own close (outer ancestors close later).
+   The replay keeps, per coverage-active predicate, a queue of closed
+   nodes not yet claimed by any P-ancestor, segmented by a shared stack
+   of subtree frames: when a P-node closes, everything pending inside its
+   subtree is exactly the set of nodes whose nearest P-ancestor it is
+   (nearer P-nodes closed earlier and already claimed theirs) and is
+   flushed to the builder in bulk.  Segments longer than one grid of
+   cells are compacted cell-wise (exact integer sums), bounding the queue
+   by O(depth * cells) per predicate. *)
+
+let mask_bits = 62 (* mask bits per spill word; keeps every field an int *)
+
+type pending = {
+  mutable q_cell : int array;
+  mutable q_count : float array;
+  mutable q_len : int;
+}
+
+let q_make () = { q_cell = Array.make 16 0; q_count = Array.make 16 0.0; q_len = 0 }
+
+let q_push q cell =
+  if Int.equal q.q_len (Array.length q.q_cell) then begin
+    let cells = Array.make (2 * q.q_len) 0 in
+    Array.blit q.q_cell 0 cells 0 q.q_len;
+    q.q_cell <- cells;
+    let counts = Array.make (2 * q.q_len) 0.0 in
+    Array.blit q.q_count 0 counts 0 q.q_len;
+    q.q_count <- counts
+  end;
+  q.q_cell.(q.q_len) <- cell;
+  q.q_count.(q.q_len) <- 1.0;
+  q.q_len <- q.q_len + 1
+
+let q_flush q ~base ~covering b =
+  for k = base to q.q_len - 1 do
+    Coverage_histogram.feed_n b ~covered:q.q_cell.(k) ~covering q.q_count.(k)
+  done;
+  q.q_len <- base
+
+(* Aggregate the segment [base, len) by cell through a zeroed scratch
+   array (zeroed again on exit).  Counts are integers, so the per-cell
+   sums are exact and a later flush feeds the same totals it would have
+   fed entry by entry. *)
+let q_compact q ~base ~scratch ~touched =
+  let nt = ref 0 in
+  for k = base to q.q_len - 1 do
+    let c = q.q_cell.(k) in
+    if Float.equal scratch.(c) 0.0 then begin
+      touched.(!nt) <- c;
+      incr nt
+    end;
+    scratch.(c) <- scratch.(c) +. q.q_count.(k)
+  done;
+  for i = 0 to !nt - 1 do
+    let c = touched.(i) in
+    q.q_cell.(base + i) <- c;
+    q.q_count.(base + i) <- scratch.(c);
+    scratch.(c) <- 0.0
+  done;
+  q.q_len <- base + !nt
+
+let build_stream ?(grid_size = 10) ?(grid_kind = `Uniform) ?schema_no_overlap
+    ?(with_levels = true) next preds =
+  let t0 = Sys.time () in
+  (* Unique predicates in first-occurrence order (the fused dedup). *)
+  let uniq_index = Hashtbl.create 16 in
+  let uniq =
+    let out = ref [] in
+    List.iter
+      (fun pred ->
+        let key = Predicate.name pred in
+        if not (Hashtbl.mem uniq_index key) then begin
+          Hashtbl.add uniq_index key (List.length !out);
+          out := (key, pred) :: !out
+        end)
+      preds;
+    Array.of_list (List.rev !out)
+  in
+  let p = Array.length uniq in
+  let schema =
+    match schema_no_overlap with
+    | None -> Array.make (Int.max p 1) None
+    | Some f -> Array.map (fun (_, pred) -> f pred) uniq
+  in
+  let evalp = Array.map (fun (_, pred) -> Predicate.compile_parts pred) uniq in
+  let pin = Array.map (fun (_, pred) -> Predicate.tag_of pred) uniq in
+  let nwords = (p + mask_bits - 1) / mask_bits in
+  let rec_size = 8 * (3 + nwords) in
+  let spill_path = Filename.temp_file "xmlest-spill" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove spill_path with Sys_error _ -> ())
+  @@ fun () ->
+  let n = ref 0 and pos = ref 0 and evals = ref 0 in
+  (* --- Pass A: parse, evaluate at close events, spill post-order. ---- *)
+  let () =
+    let oc = open_out_bin spill_path in
+    Fun.protect ~finally:(fun () -> close_out_noerr oc) @@ fun () ->
+    let rbuf = Bytes.create rec_size in
+    let words = Array.make (Int.max nwords 1) 0 in
+    (* Open-element frames; the buffer collects the element's direct
+       character data across child elements, trimmed at close exactly as
+       Xml_parser trims Elem text. *)
+    let f_tag = ref (Array.make 16 "") in
+    let f_attrs = ref (Array.make 16 []) in
+    let f_start = ref (Array.make 16 0) in
+    let f_text = ref (Array.init 16 (fun _ -> Buffer.create 16)) in
+    let depth = ref 0 in
+    let grow () =
+      let d = Array.length !f_tag in
+      let bigger a fill = Array.init (2 * d) (fun k -> if k < d then a.(k) else fill k) in
+      f_tag := bigger !f_tag (fun _ -> "");
+      f_attrs := bigger !f_attrs (fun _ -> []);
+      f_start := bigger !f_start (fun _ -> 0);
+      f_text := bigger !f_text (fun _ -> Buffer.create 16)
+    in
+    let rec loop () =
+      match next () with
+      | None -> ()
+      | Some ev ->
+        (match ev with
+        | Sax.Open { tag; attrs } ->
+          if Int.equal !depth (Array.length !f_tag) then grow ();
+          !f_tag.(!depth) <- tag;
+          !f_attrs.(!depth) <- attrs;
+          !f_start.(!depth) <- !pos;
+          Buffer.clear !f_text.(!depth);
+          incr pos;
+          incr depth
+        | Sax.Text s ->
+          if !depth > 0 then Buffer.add_string !f_text.(!depth - 1) s
+        | Sax.Close ->
+          decr depth;
+          let d = !depth in
+          let tag = !f_tag.(d) and attrs = !f_attrs.(d) in
+          let text = Sax.trim_text (Buffer.contents !f_text.(d)) in
+          let start_pos = !f_start.(d) in
+          let end_pos = !pos in
+          incr pos;
+          Array.fill words 0 (Array.length words) 0;
+          for u = 0 to p - 1 do
+            let applicable =
+              match pin.(u) with Some t -> String.equal t tag | None -> true
+            in
+            if applicable then begin
+              incr evals;
+              if evalp.(u) ~tag ~attrs ~text ~level:d then
+                words.(u / mask_bits) <-
+                  words.(u / mask_bits) lor (1 lsl (u mod mask_bits))
+            end
+          done;
+          Bytes.set_int64_le rbuf 0 (Int64.of_int start_pos);
+          Bytes.set_int64_le rbuf 8 (Int64.of_int end_pos);
+          Bytes.set_int64_le rbuf 16 (Int64.of_int d);
+          for w = 0 to nwords - 1 do
+            Bytes.set_int64_le rbuf (24 + (8 * w)) (Int64.of_int words.(w))
+          done;
+          output_bytes oc rbuf;
+          incr n);
+        loop ()
+    in
+    loop ()
+  in
+  if !n = 0 then failwith "Summary.build_stream: empty event stream";
+  let max_pos = !pos - 1 in
+  let read_record ic rbuf =
+    really_input ic rbuf 0 rec_size;
+    let words =
+      Array.init (Int.max nwords 1) (fun w ->
+          if w < nwords then Int64.to_int (Bytes.get_int64_le rbuf (24 + (8 * w)))
+          else 0)
+    in
+    ( Int64.to_int (Bytes.get_int64_le rbuf 0),
+      Int64.to_int (Bytes.get_int64_le rbuf 8),
+      Int64.to_int (Bytes.get_int64_le rbuf 16),
+      words )
+  in
+  (* --- Grid: uniform directly; equi-depth scans the spill for the
+     quantile sample (starts and ends of matched nodes, once per
+     occurrence in the original predicate list, every position as
+     fallback — the same multiset the in-memory path sorts). ---------- *)
+  let passes, grid =
+    match grid_kind with
+    | `Uniform -> (2, Grid.create ~size:grid_size ~max_pos)
+    | `Equidepth ->
+      let acc = Array.make (Int.max p 1) [] in
+      let acc_n = Array.make (Int.max p 1) 0 in
+      let () =
+        let ic = open_in_bin spill_path in
+        Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+        let rbuf = Bytes.create rec_size in
+        for _ = 1 to !n do
+          let start_pos, end_pos, _, words = read_record ic rbuf in
+          for u = 0 to p - 1 do
+            if words.(u / mask_bits) land (1 lsl (u mod mask_bits)) <> 0
+            then begin
+              acc.(u) <- end_pos :: start_pos :: acc.(u);
+              acc_n.(u) <- acc_n.(u) + 1
+            end
+          done
+        done
+      in
+      let total =
+        List.fold_left
+          (fun t pred ->
+            t + acc_n.(Hashtbl.find uniq_index (Predicate.name pred)))
+          0 preds
+      in
+      let positions =
+        if total = 0 then Array.init (2 * !n) Fun.id
+        else begin
+          let out = Array.make (2 * total) 0 in
+          let w = ref 0 in
+          List.iter
+            (fun pred ->
+              List.iter
+                (fun pos ->
+                  out.(!w) <- pos;
+                  incr w)
+                acc.(Hashtbl.find uniq_index (Predicate.name pred)))
+            preds;
+          out
+        end
+      in
+      Array.sort Int.compare positions;
+      (3, Grid.equidepth ~size:grid_size ~max_pos ~positions)
+  in
+  (* --- Pass B: replay the spill through the fused builders. ---------- *)
+  let cells = Grid.cells grid in
+  let stride = Int.max p 1 in
+  let hist_b = Array.init p (fun _ -> Position_histogram.builder grid) in
+  let lvl_b =
+    if with_levels then Some (Array.init p (fun _ -> Level_histogram.builder ()))
+    else None
+  in
+  let cvg_b =
+    Array.init p (fun u ->
+        match schema.(u) with
+        | Some false -> None
+        | Some true | None -> Some (Coverage_histogram.builder grid))
+  in
+  let pop_b = Position_histogram.builder grid in
+  let populations = Array.make cells 0.0 in
+  let counts = Array.make stride 0 in
+  let nest = Array.init stride (fun _ -> Interval_ops.close_stream ()) in
+  let queues = Array.init stride (fun _ -> q_make ()) in
+  let scratch = Array.make cells 0.0 in
+  let touched = Array.make cells 0 in
+  let merged = Array.make stride 0 in
+  let fr_start = ref (Array.make 64 0) in
+  let fr_base = ref (Array.make (64 * stride) 0) in
+  let fr_depth = ref 0 in
+  let () =
+    let ic = open_in_bin spill_path in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+    let rbuf = Bytes.create rec_size in
+    for _ = 1 to !n do
+      let start_pos, end_pos, level, words = read_record ic rbuf in
+      let i, j = Grid.cell_of_node grid ~start_pos ~end_pos in
+      let idx = Grid.index grid ~i ~j in
+      populations.(idx) <- populations.(idx) +. 1.0;
+      Position_histogram.feed_cell pop_b idx;
+      (* Pop completed child-subtree frames; the earliest child (popped
+         last) carries the merged pending-segment bases.  With no
+         children, the segment is empty at the current queue tails. *)
+      for u = 0 to p - 1 do
+        merged.(u) <- queues.(u).q_len
+      done;
+      while !fr_depth > 0 && !fr_start.(!fr_depth - 1) > start_pos do
+        fr_depth := !fr_depth - 1;
+        for u = 0 to p - 1 do
+          merged.(u) <- !fr_base.((!fr_depth * stride) + u)
+        done
+      done;
+      for u = 0 to p - 1 do
+        let in_set = words.(u / mask_bits) land (1 lsl (u mod mask_bits)) <> 0 in
+        ignore (Interval_ops.feed_close nest.(u) ~start_pos ~in_set);
+        (match cvg_b.(u) with
+        | Some b ->
+          let q = queues.(u) in
+          let base = merged.(u) in
+          if in_set then q_flush q ~base ~covering:idx b;
+          q_push q idx;
+          if q.q_len - base > cells then q_compact q ~base ~scratch ~touched
+        | None -> ());
+        if in_set then begin
+          Position_histogram.feed_cell hist_b.(u) idx;
+          (match lvl_b with
+          | Some lb -> Level_histogram.feed lb.(u) level
+          | None -> ());
+          counts.(u) <- counts.(u) + 1
+        end
+      done;
+      if Int.equal !fr_depth (Array.length !fr_start) then begin
+        let starts = Array.make (2 * !fr_depth) 0 in
+        Array.blit !fr_start 0 starts 0 !fr_depth;
+        fr_start := starts;
+        let bases = Array.make (2 * !fr_depth * stride) 0 in
+        Array.blit !fr_base 0 bases 0 (!fr_depth * stride);
+        fr_base := bases
+      end;
+      !fr_start.(!fr_depth) <- start_pos;
+      for u = 0 to p - 1 do
+        !fr_base.((!fr_depth * stride) + u) <- merged.(u)
+      done;
+      fr_depth := !fr_depth + 1
+    done
+  in
+  let entries = Hashtbl.create 64 in
+  Array.iteri
+    (fun u (key, pred) ->
+      let no_overlap =
+        match schema.(u) with
+        | Some b -> b
+        | None -> not (Interval_ops.close_nesting_seen nest.(u))
+      in
+      let cvg =
+        match cvg_b.(u) with
+        | Some b when no_overlap && counts.(u) > 0 ->
+          Some (Coverage_histogram.finish b ~populations)
+        | Some _ | None -> None
+      in
+      let lvl =
+        match lvl_b with
+        | Some lb -> Some (Level_histogram.finish lb.(u))
+        | None -> None
+      in
+      Hashtbl.add entries key
+        { pred; hist = Position_histogram.finish hist_b.(u); no_overlap; cvg; lvl })
+    uniq;
+  let hcat = make_hist_catalog () in
+  register_entries hcat entries;
+  {
+    doc = None;
+    grid;
+    preds;
+    entries;
+    pop = Position_histogram.finish pop_b;
+    with_levels;
+    hcat;
+    lph_cache = Hashtbl.create 8;
+    stats =
+      Some
+        {
+          path = `Streamed;
+          passes;
+          predicate_evals = !evals;
+          build_time = Sys.time () -. t0;
+        };
+    maint = None;
+  }
+
+let build_stream_file ?grid_size ?grid_kind ?schema_no_overlap ?with_levels path
+    preds =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  let sax = Sax.of_channel ic in
+  build_stream ?grid_size ?grid_kind ?schema_no_overlap ?with_levels
+    (fun () -> Sax.next sax)
+    preds
 
 let stats t = t.stats
 
@@ -1050,3 +1429,133 @@ let load path =
   let contents = really_input_string ic n in
   close_in ic;
   of_string contents
+
+(* --- The binary (.xsum) store ------------------------------------------ *)
+
+(* [Store] only moves flat float vectors; the translation to and from live
+   histograms happens here, where the entry record is in scope.  Dense
+   cell vectors are rebuilt through the public query surface
+   ([iter_nonzero], [fold_entries], [total_coverage]) so the store never
+   depends on histogram internals; every float is copied bit-exactly, and
+   the stored totals let [load_store] skip the cell folds. *)
+
+let dense_cells grid h =
+  let cells = Array.make (Grid.cells grid) 0.0 in
+  Position_histogram.iter_nonzero h (fun ~i ~j v ->
+      cells.(Grid.index grid ~i ~j) <- v);
+  F64.of_array cells
+
+let hist_view grid h =
+  { Store.h_total = Position_histogram.total h; h_cells = dense_cells grid h }
+
+let cvg_view grid cvg =
+  let cells = Grid.cells grid in
+  let g = grid.Grid.size in
+  let entries =
+    List.rev
+      (Coverage_histogram.fold_entries cvg ~init:[]
+         ~f:(fun acc ~covered ~covering frac -> (covered, covering, frac) :: acc))
+  in
+  let row_off = Array.make (cells + 1) 0 in
+  List.iter (fun (covered, _, _) -> row_off.(covered + 1) <- row_off.(covered + 1) + 1) entries;
+  for c = 0 to cells - 1 do
+    row_off.(c + 1) <- row_off.(c + 1) + row_off.(c)
+  done;
+  let data = Array.make (2 * row_off.(cells)) 0.0 in
+  List.iteri
+    (fun k (_, covering, frac) ->
+      data.(2 * k) <- float_of_int covering;
+      data.((2 * k) + 1) <- frac)
+    entries;
+  let total_cvg = Array.make cells 0.0 in
+  for k = 0 to cells - 1 do
+    total_cvg.(k) <- Coverage_histogram.total_coverage cvg ~i:(k / g) ~j:(k mod g)
+  done;
+  {
+    Store.c_entries = row_off.(cells);
+    c_offsets = F64.of_array (Array.map float_of_int row_off);
+    c_data = F64.of_array data;
+    c_populations = F64.of_array (Coverage_histogram.populations cvg);
+    c_total_cvg = F64.of_array total_cvg;
+  }
+
+let save_store t path =
+  let blocks =
+    List.filter_map
+      (fun pred ->
+        Option.map
+          (fun e ->
+            {
+              Store.b_syntax = Predicate.to_syntax e.pred;
+              b_no_overlap = e.no_overlap;
+              b_hist = hist_view t.grid e.hist;
+              b_cvg = Option.map (cvg_view t.grid) e.cvg;
+              b_lvl =
+                Option.map
+                  (fun lvl -> F64.of_array (Level_histogram.counts lvl))
+                  e.lvl;
+            })
+          (find t pred))
+      t.preds
+  in
+  Store.write path ~grid:t.grid ~population:(hist_view t.grid t.pop) ~blocks
+
+let load_store path =
+  match Store.open_in path with
+  | Error e -> Error e
+  | Ok s -> (
+    try
+      let grid = s.Store.s_grid in
+      let hist_of (v : Store.hist_view) =
+        Position_histogram.of_bigarray ~grid ~total:v.Store.h_total
+          v.Store.h_cells
+      in
+      let entries = Hashtbl.create 16 in
+      let preds = ref [] in
+      let with_levels = ref false in
+      List.iter
+        (fun b ->
+          let pred =
+            match Predicate.of_syntax b.Store.b_syntax with
+            | Ok p -> p
+            | Error e -> raise (Bad_summary ("bad predicate: " ^ e))
+          in
+          let cvg =
+            Option.map
+              (fun c ->
+                Coverage_histogram.of_csr_mapped ~grid
+                  ~offsets:c.Store.c_offsets ~data:c.Store.c_data
+                  ~populations:c.Store.c_populations
+                  ~total_cvg:c.Store.c_total_cvg)
+              b.Store.b_cvg
+          in
+          let lvl = Option.map Level_histogram.of_bigarray b.Store.b_lvl in
+          if Option.is_some lvl then with_levels := true;
+          Hashtbl.replace entries (Predicate.name pred)
+            {
+              pred;
+              hist = hist_of b.Store.b_hist;
+              no_overlap = b.Store.b_no_overlap;
+              cvg;
+              lvl;
+            };
+          preds := pred :: !preds)
+        s.Store.s_blocks;
+      let hcat = make_hist_catalog () in
+      register_entries hcat entries;
+      Ok
+        {
+          doc = None;
+          grid;
+          preds = List.rev !preds;
+          entries;
+          pop = hist_of s.Store.s_population;
+          with_levels = !with_levels;
+          hcat;
+          lph_cache = Hashtbl.create 8;
+          stats = None;
+          maint = None;
+        }
+    with
+    | Bad_summary msg -> Error msg
+    | Invalid_argument msg -> Error msg)

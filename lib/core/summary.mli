@@ -71,14 +71,50 @@ val build_legacy :
     reference for the fused path and for benchmarking; produces the same
     summary. *)
 
+val build_stream :
+  ?grid_size:int ->
+  ?grid_kind:[ `Uniform | `Equidepth ] ->
+  ?schema_no_overlap:(Predicate.t -> bool option) ->
+  ?with_levels:bool ->
+  (unit -> Sax.event option) ->
+  Predicate.t list ->
+  t
+(** Out-of-core construction from a SAX event stream (e.g.
+    [fun () -> Sax.next parser]): the document is never materialized, so
+    an N-node input builds in O(element depth + summary size) memory.
+    Interval positions are assigned exactly as [Document.of_elem] would
+    (one global counter: start at open, end at close) and per-node state
+    — start, end, level, predicate match bitmask — spills to a temp file
+    in post-order, then replays through the same streaming builders the
+    fused path uses.  Because every builder is an order-insensitive exact
+    accumulator, the result is {e bit-identical} — {!to_string}-equal —
+    to {!build} over the parsed document, for both grid kinds
+    (property-tested).  The returned summary has no attached document
+    ({!document} is [None]), like one loaded from disk.
+
+    Passes ({!build_stats}): 2 for uniform grids (parse+spill, replay),
+    3 for equi-depth (plus one spill scan for quantile positions). *)
+
+val build_stream_file :
+  ?grid_size:int ->
+  ?grid_kind:[ `Uniform | `Equidepth ] ->
+  ?schema_no_overlap:(Predicate.t -> bool option) ->
+  ?with_levels:bool ->
+  string ->
+  Predicate.t list ->
+  t
+(** {!build_stream} over an XML file, parsed incrementally with
+    {!Sax.of_channel}. *)
+
 (** {2 Construction observability} *)
 
 type build_stats = {
-  path : [ `Fused | `Legacy ];
+  path : [ `Fused | `Legacy | `Streamed ];
   passes : int;
       (** Full traversals of the document or of matched-node arrays:
           1 for a fused uniform build, 2 for fused equi-depth, ~4-5 per
-          predicate for the legacy path. *)
+          predicate for the legacy path; for the streamed path, passes
+          over the input or the spill file (2 uniform, 3 equi-depth). *)
   predicate_evals : int;
       (** Individual predicate evaluations.  Exact for the fused path
           (compiled-dispatch count); for the legacy path, an exact static
@@ -130,7 +166,7 @@ val hist_catalog : t -> Catalog.t
 
 val save_catalog : t -> string -> unit
 (** Persist {!hist_catalog} — histograms and currently fresh coefficient
-    arrays — in the catalog's binary format (bit-exact floats). *)
+    arrays — in the catalog's text format (bit-exact floats). *)
 
 val load_catalog : string -> (Catalog.t, string) result
 (** Load a catalog saved by {!save_catalog}, wired to the pH-join
@@ -253,3 +289,18 @@ val to_string : t -> string
 val of_string : string -> (t, string) result
 val save : t -> string -> unit
 val load : string -> (t, string) result
+
+val save_store : t -> string -> unit
+(** Persist to the binary [.xsum] format ([Store]): a small text header
+    plus one flat little-endian float64 payload holding every histogram's
+    cells, totals stored alongside.  Every float is written bit-exactly,
+    so the reopened summary is {!to_string}-identical and estimates
+    bit-identically (property-tested). *)
+
+val load_store : string -> (t, string) result
+(** Open a [.xsum] store by memory-mapping its payload: O(header) work —
+    no per-cell parsing or adds — with each histogram holding a zero-copy
+    slice of the (copy-on-write) mapping.  Like {!load}, the result
+    carries no document and no stats, and its coefficient catalog starts
+    cold: histogram version counters restart at 0, so no stale memoized
+    pH-join arrays can be mistaken for fresh ones. *)

@@ -21,6 +21,7 @@ module Xml_writer = Xmlest_xmldb.Xml_writer
 module Document = Xmlest_xmldb.Document
 module Interval_ops = Xmlest_xmldb.Interval_ops
 module Doc_stats = Xmlest_xmldb.Doc_stats
+module Sax = Xmlest_xmldb.Sax
 
 (* Data generators *)
 module Splitmix = Xmlest_datagen.Splitmix
@@ -42,6 +43,7 @@ module Pattern_check = Xmlest_query.Pattern_check
 
 (* Histograms *)
 module Grid = Xmlest_histogram.Grid
+module F64 = Xmlest_histogram.F64
 module Hist_catalog = Xmlest_histogram.Catalog
 module Position_histogram = Xmlest_histogram.Position_histogram
 module Coverage_histogram = Xmlest_histogram.Coverage_histogram
@@ -80,6 +82,7 @@ module Chunking = Xmlest_parallel.Chunking
 module Builder_merge = Xmlest_parallel.Builder_merge
 
 (* Catalog *)
+module Store = Store
 module Summary = Summary
 module Construction_bench = Construction_bench
 module Advisor = Advisor

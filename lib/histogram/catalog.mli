@@ -76,10 +76,12 @@ val pp_stats : Format.formatter -> t -> unit
 
 (** {1 Persistence}
 
-    Binary format: a magic header line followed by a marshaled snapshot of
-    plain data (no closures), so floats — histogram cells and coefficients
-    alike — round-trip bit-exactly.  Only fresh coefficient arrays are
-    persisted; stale ones are dropped rather than resurrected. *)
+    Line-based text format: a magic header, the grid, then per entry the
+    key, non-zero histogram cells and fresh coefficient arrays, all floats
+    printed at [%.17g] so they — histogram cells and coefficients alike —
+    round-trip bit-exactly.  Only fresh coefficient arrays are persisted;
+    stale ones are dropped rather than resurrected.  No [Marshal]: a
+    corrupt file yields [Error], never undefined behavior. *)
 
 val save : t -> string -> unit
 val to_channel : t -> out_channel -> unit

@@ -1,16 +1,54 @@
 open Xmlest_xmldb
 open Xmlest_query
 
+(* Compressed sparse rows over one flat float64 vector: row [c] (a covered
+   cell) holds entries [row_off.(c) .. row_off.(c+1) - 1], each entry two
+   consecutive floats in [data] — the covering cell index (exact: cell
+   indices are tiny integers) and the fraction of [c]'s population it
+   covers.  The flat layout lets a histogram own heap storage or be a
+   zero-copy view over a memory-mapped summary store (lib/core/store.ml). *)
 type t = {
   grid : Grid.t;
-  (* covered cell index -> list of (covering cell index, fraction),
-     fractions relative to the covered cell's population *)
-  covers : (int * float) array array;
-  populations : float array;  (* TRUE-histogram count per cell *)
-  total_cvg : float array;
+  row_off : int array Lazy.t;  (* length cells + 1 *)
+  data : F64.t;         (* 2 * entries: covering cell, fraction, ... *)
+  populations : F64.t;  (* TRUE-histogram count per cell *)
+  total_cvg : F64.t;
 }
+(* [row_off] is lazy so a histogram opened from the memory-mapped summary
+   store can defer materializing its offsets (and the page faults that
+   reading them costs) until first use; built histograms wrap an already
+   computed array with [Lazy.from_val], which forces to a tag check. *)
+
+let offs t = Lazy.force t.row_off
 
 let grid t = t.grid
+
+let row_covering t k = int_of_float t.data.{2 * k}
+let row_frac t k = t.data.{(2 * k) + 1}
+
+(* Freeze per-covered-cell (covering, fraction) rows — already in the
+   canonical sort order — into the CSR layout. *)
+let of_rows ~grid ~populations rows =
+  let cells = Grid.cells grid in
+  let row_off = Array.make (cells + 1) 0 in
+  for c = 0 to cells - 1 do
+    row_off.(c + 1) <- row_off.(c) + Array.length rows.(c)
+  done;
+  let data = F64.create (2 * row_off.(cells)) in
+  let total_cvg = F64.create cells in
+  for c = 0 to cells - 1 do
+    let base = row_off.(c) in
+    let sum = ref 0.0 in
+    Array.iteri
+      (fun k (m, f) ->
+        data.{2 * (base + k)} <- float_of_int m;
+        data.{(2 * (base + k)) + 1} <- f;
+        sum := !sum +. f)
+      rows.(c);
+    total_cvg.{c} <- !sum
+  done;
+  { grid; row_off = Lazy.from_val row_off; data;
+    populations = F64.of_array populations; total_cvg }
 
 (* Streaming builder: per covered cell, a run-length list of
    (covering cell, count) pairs, consecutive hits on the same covering
@@ -24,11 +62,13 @@ type builder = {
 
 let builder grid = { b_grid = grid; b_counts = Array.make (Grid.cells grid) [] }
 
-let feed b ~covered ~covering =
+let feed_n b ~covered ~covering k =
   b.b_counts.(covered) <-
     (match b.b_counts.(covered) with
-    | (m, k) :: rest when Int.equal m covering -> (m, k +. 1.0) :: rest
-    | l -> (covering, 1.0) :: l)
+    | (m, c) :: rest when Int.equal m covering -> (m, c +. k) :: rest
+    | l -> (covering, k) :: l)
+
+let feed b ~covered ~covering = feed_n b ~covered ~covering 1.0
 
 (* Chunk merge: per covered cell, prepend the later chunk's run-length
    list (lists grow head-first, so the merged list keeps "head = latest").
@@ -49,7 +89,7 @@ let merge_into ~into b =
 let finish b ~populations =
   if not (Int.equal (Array.length populations) (Grid.cells b.b_grid)) then
     invalid_arg "Coverage_histogram.finish: population array length mismatch";
-  let covers =
+  let rows =
     Array.mapi
       (fun c lst ->
         (* Merge duplicate covering cells (the run-length shortcut above
@@ -67,10 +107,7 @@ let finish b ~populations =
         |> Array.of_list)
       b.b_counts
   in
-  let total_cvg =
-    Array.map (fun arr -> Array.fold_left (fun acc (_, f) -> acc +. f) 0.0 arr) covers
-  in
-  { grid = b.b_grid; covers; populations = Array.copy populations; total_cvg }
+  of_rows ~grid:b.b_grid ~populations rows
 
 let build doc ~grid pred =
   let n = Document.size doc in
@@ -98,66 +135,70 @@ let build doc ~grid pred =
   finish b ~populations
 
 let coverage t ~i ~j ~m ~n =
+  let ro = offs t in
   let c = Grid.index t.grid ~i ~j in
   let target = Grid.index t.grid ~i:m ~j:n in
-  let arr = t.covers.(c) in
   let rec find k =
-    if k >= Array.length arr then 0.0
-    else begin
-      let cell, f = arr.(k) in
-      if Int.equal cell target then f else find (k + 1)
-    end
+    if k >= ro.(c + 1) then 0.0
+    else if Int.equal (row_covering t k) target then row_frac t k
+    else find (k + 1)
   in
-  find 0
+  find ro.(c)
 
-let total_coverage t ~i ~j = t.total_cvg.(Grid.index t.grid ~i ~j)
+let total_coverage t ~i ~j = t.total_cvg.{Grid.index t.grid ~i ~j}
 
 let iter_covers t ~i ~j f =
+  let ro = offs t in
   let g = t.grid.Grid.size in
-  Array.iter
-    (fun (cell, frac) -> f ~m:(cell / g) ~n:(cell mod g) frac)
-    t.covers.(Grid.index t.grid ~i ~j)
+  let c = Grid.index t.grid ~i ~j in
+  for k = ro.(c) to ro.(c + 1) - 1 do
+    let cell = row_covering t k in
+    f ~m:(cell / g) ~n:(cell mod g) (row_frac t k)
+  done
 
-let cell_population t ~i ~j = t.populations.(Grid.index t.grid ~i ~j)
+let cell_population t ~i ~j = t.populations.{Grid.index t.grid ~i ~j}
 
 let entries t =
-  Array.fold_left (fun acc arr -> acc + Array.length arr) 0 t.covers
+  let ro = offs t in
+  ro.(Array.length ro - 1)
 
 let partial_entries t =
-  Array.fold_left
-    (fun acc arr ->
-      Array.fold_left
-        (fun acc (_, f) -> if f > 0.0 && f < 1.0 then acc + 1 else acc)
-        acc arr)
-    0 t.covers
+  let n = ref 0 in
+  for k = 0 to entries t - 1 do
+    let f = row_frac t k in
+    if f > 0.0 && f < 1.0 then incr n
+  done;
+  !n
 
 let bytes_per_entry = 10
 
 let storage_bytes t = bytes_per_entry * entries t
 
 let pp ppf t =
+  let ro = offs t in
   let g = t.grid.Grid.size in
-  Array.iteri
-    (fun c arr ->
-      if Array.length arr > 0 then begin
-        Format.fprintf ppf "(%d,%d) covered by:" (c / g) (c mod g);
-        Array.iter
-          (fun (cell, f) ->
-            Format.fprintf ppf " (%d,%d)=%.3f" (cell / g) (cell mod g) f)
-          arr;
-        Format.fprintf ppf "@."
-      end)
-    t.covers
+  for c = 0 to Array.length ro - 2 do
+    if ro.(c + 1) > ro.(c) then begin
+      Format.fprintf ppf "(%d,%d) covered by:" (c / g) (c mod g);
+      for k = ro.(c) to ro.(c + 1) - 1 do
+        let cell = row_covering t k in
+        Format.fprintf ppf " (%d,%d)=%.3f" (cell / g) (cell mod g) (row_frac t k)
+      done;
+      Format.fprintf ppf "@."
+    end
+  done
 
 let fold_entries t ~init ~f =
+  let ro = offs t in
   let acc = ref init in
-  Array.iteri
-    (fun covered arr ->
-      Array.iter (fun (covering, frac) -> acc := f !acc ~covered ~covering frac) arr)
-    t.covers;
+  for covered = 0 to Array.length ro - 2 do
+    for k = ro.(covered) to ro.(covered + 1) - 1 do
+      acc := f !acc ~covered ~covering:(row_covering t k) (row_frac t k)
+    done
+  done;
   !acc
 
-let populations t = Array.copy t.populations
+let populations t = F64.to_array t.populations
 
 let of_parts ~grid ~populations ~entries =
   let cells = Grid.cells grid in
@@ -170,7 +211,7 @@ let of_parts ~grid ~populations ~entries =
         invalid_arg "Coverage_histogram.of_parts: cell index out of range";
       buckets.(covered) <- (covering, frac) :: buckets.(covered))
     entries;
-  let covers =
+  let rows =
     Array.map
       (fun l ->
         Array.of_list
@@ -180,7 +221,46 @@ let of_parts ~grid ~populations ~entries =
              l))
       buckets
   in
-  let total_cvg =
-    Array.map (fun arr -> Array.fold_left (fun acc (_, f) -> acc +. f) 0.0 arr) covers
+  of_rows ~grid ~populations rows
+
+let check_per_cell_lengths ~cells ~populations ~total_cvg =
+  if
+    (not (Int.equal (F64.length populations) cells))
+    || not (Int.equal (F64.length total_cvg) cells)
+  then
+    invalid_arg "Coverage_histogram.of_csr: per-cell array length mismatch"
+
+let check_row_off ~cells ~data row_off =
+  if row_off.(0) <> 0 || not (Int.equal (F64.length data) (2 * row_off.(cells)))
+  then
+    invalid_arg "Coverage_histogram.of_csr: data length does not match offsets";
+  for c = 0 to cells - 1 do
+    if row_off.(c + 1) < row_off.(c) then
+      invalid_arg "Coverage_histogram.of_csr: row offsets not monotone"
+  done
+
+let of_csr ~grid ~row_off ~data ~populations ~total_cvg =
+  let cells = Grid.cells grid in
+  if not (Int.equal (Array.length row_off) (cells + 1)) then
+    invalid_arg "Coverage_histogram.of_csr: row offset array length mismatch";
+  check_row_off ~cells ~data row_off;
+  check_per_cell_lengths ~cells ~populations ~total_cvg;
+  { grid; row_off = Lazy.from_val row_off; data; populations; total_cvg }
+
+let of_csr_mapped ~grid ~offsets ~data ~populations ~total_cvg =
+  let cells = Grid.cells grid in
+  if not (Int.equal (F64.length offsets) (cells + 1)) then
+    invalid_arg "Coverage_histogram.of_csr: row offset array length mismatch";
+  if not (Int.equal (F64.length data) (2 * int_of_float offsets.{cells})) then
+    invalid_arg "Coverage_histogram.of_csr: data length does not match offsets";
+  check_per_cell_lengths ~cells ~populations ~total_cvg;
+  (* Materializing cells+1 offsets from the mapped payload (and faulting
+     its pages in) waits until the histogram is actually consulted, so a
+     store open stays O(header). *)
+  let row_off =
+    lazy
+      (let ro = Array.init (cells + 1) (fun k -> int_of_float offsets.{k}) in
+       check_row_off ~cells ~data ro;
+       ro)
   in
-  { grid; covers; populations = Array.copy populations; total_cvg }
+  { grid; row_off; data; populations; total_cvg }

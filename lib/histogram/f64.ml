@@ -1,0 +1,41 @@
+type t = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let create n : t =
+  let a = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
+  Bigarray.Array1.fill a 0.0;
+  a
+
+let length (a : t) = Bigarray.Array1.dim a
+
+let of_array src : t =
+  let a = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout (Array.length src) in
+  Array.iteri (fun i v -> a.{i} <- v) src;
+  a
+
+let to_array (a : t) = Array.init (length a) (fun i -> a.{i})
+
+let copy (a : t) : t =
+  let b = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout (length a) in
+  Bigarray.Array1.blit a b;
+  b
+
+let sub (a : t) ~pos ~len : t = Bigarray.Array1.sub a pos len
+
+let fold_left f init (a : t) =
+  let acc = ref init in
+  for i = 0 to length a - 1 do
+    acc := f !acc a.{i}
+  done;
+  !acc
+
+let equal (a : t) (b : t) =
+  Int.equal (length a) (length b)
+  &&
+  let ok = ref true in
+  let i = ref 0 in
+  let n = length a in
+  while !ok && !i < n do
+    if not (Float.equal a.{!i} b.{!i}) then ok := false;
+    incr i
+  done;
+  !ok

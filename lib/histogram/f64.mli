@@ -1,0 +1,27 @@
+(** Shared float64 [Bigarray] vector used as histogram cell storage.
+
+    All histograms store their cells in a flat [float64] [Bigarray.Array1]
+    in C layout so that a summary loaded from a memory-mapped [.xsum]
+    store (see [Store] in [lib/core]) can hand each histogram a read-only
+    slice of the mapped buffer with no copying or deserialization — the
+    heap-built and mapped representations are the same type. *)
+
+type t = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+val create : int -> t
+(** Freshly allocated and zero-filled ([Bigarray.Array1.create] leaves
+    contents uninitialized). *)
+
+val length : t -> int
+val of_array : float array -> t
+val to_array : t -> float array
+val copy : t -> t
+
+val sub : t -> pos:int -> len:int -> t
+(** Shared-storage slice (no copy) — the mapped-store view constructor. *)
+
+val fold_left : ('a -> float -> 'a) -> 'a -> t -> 'a
+(** Fold in index order, matching [Array.fold_left] on the same values. *)
+
+val equal : t -> t -> bool
+(** Same length and [Float.equal] cellwise. *)

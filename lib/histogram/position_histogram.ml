@@ -1,15 +1,18 @@
 open Xmlest_xmldb
 open Xmlest_query
 
+(* Cells live in a float64 Bigarray so a histogram can either own fresh
+   heap storage or be a zero-copy view over a memory-mapped summary store
+   (lib/core/store.ml) — same type, same query surface. *)
 type t = {
   grid : Grid.t;
-  counts : float array;
+  counts : F64.t;
   mutable total : float;
   mutable version : int;
 }
 
 let create_empty grid =
-  { grid; counts = Array.make (Grid.cells grid) 0.0; total = 0.0; version = 0 }
+  { grid; counts = F64.create (Grid.cells grid); total = 0.0; version = 0 }
 
 let grid t = t.grid
 
@@ -32,19 +35,19 @@ let check_cell fn t ~i ~j =
           bucket must not exceed end bucket)"
          fn i j)
 
-let get t ~i ~j = t.counts.(Grid.index t.grid ~i ~j)
+let get t ~i ~j = t.counts.{Grid.index t.grid ~i ~j}
 
 let set t ~i ~j v =
   check_cell "set" t ~i ~j;
   let idx = Grid.index t.grid ~i ~j in
-  t.total <- t.total -. t.counts.(idx) +. v;
-  t.counts.(idx) <- v;
+  t.total <- t.total -. t.counts.{idx} +. v;
+  t.counts.{idx} <- v;
   t.version <- t.version + 1
 
 let add t ~i ~j v =
   check_cell "add" t ~i ~j;
   let idx = Grid.index t.grid ~i ~j in
-  t.counts.(idx) <- t.counts.(idx) +. v;
+  t.counts.{idx} <- t.counts.{idx} +. v;
   t.total <- t.total +. v;
   t.version <- t.version + 1
 
@@ -79,10 +82,15 @@ let merge_into ~into b =
 let finish b =
   {
     grid = b.b_grid;
-    counts = b.b_counts;
+    counts = F64.of_array b.b_counts;
     total = Array.fold_left ( +. ) 0.0 b.b_counts;
     version = 0;
   }
+
+let of_bigarray ~grid ~total counts =
+  if not (Int.equal (F64.length counts) (Grid.cells grid)) then
+    invalid_arg "Position_histogram.of_bigarray: cell count does not match grid";
+  { grid; counts; total; version = 0 }
 
 let of_nodes doc ~grid nodes =
   let b = builder grid in
@@ -103,32 +111,34 @@ let population doc ~grid =
   finish b
 
 let copy t =
-  { grid = t.grid; counts = Array.copy t.counts; total = t.total; version = 0 }
+  { grid = t.grid; counts = F64.copy t.counts; total = t.total; version = 0 }
 
 let equal a b =
-  Grid.compatible a.grid b.grid
-  && Int.equal (Array.length a.counts) (Array.length b.counts)
-  && Array.for_all2 Float.equal a.counts b.counts
+  Grid.compatible a.grid b.grid && F64.equal a.counts b.counts
 
 let map2 f a b =
   if not (Grid.compatible a.grid b.grid) then
     invalid_arg "Position_histogram.map2: incompatible grids";
-  let counts = Array.map2 f a.counts b.counts in
-  { grid = a.grid; counts; total = Array.fold_left ( +. ) 0.0 counts; version = 0 }
+  let n = F64.length a.counts in
+  let counts = F64.create n in
+  for c = 0 to n - 1 do
+    counts.{c} <- f a.counts.{c} b.counts.{c}
+  done;
+  { grid = a.grid; counts; total = F64.fold_left ( +. ) 0.0 counts; version = 0 }
 
 let scale t k =
-  {
-    grid = t.grid;
-    counts = Array.map (fun v -> v *. k) t.counts;
-    total = t.total *. k;
-    version = 0;
-  }
+  let n = F64.length t.counts in
+  let counts = F64.create n in
+  for c = 0 to n - 1 do
+    counts.{c} <- t.counts.{c} *. k
+  done;
+  { grid = t.grid; counts; total = t.total *. k; version = 0 }
 
 let iter_nonzero t f =
   let g = t.grid.Grid.size in
   for i = 0 to g - 1 do
     for j = i to g - 1 do
-      let v = t.counts.(Grid.index t.grid ~i ~j) in
+      let v = t.counts.{Grid.index t.grid ~i ~j} in
       if not (Float.equal v 0.0) then f ~i ~j v
     done
   done
@@ -158,7 +168,7 @@ let pp ppf t =
 let pp_heatmap ppf t =
   let g = t.grid.Grid.size in
   let max_count =
-    Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 t.counts
+    F64.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 t.counts
   in
   (* Shares are meaningless when the total is zero or negative (possible
      after map2 subtraction): classify against the largest magnitude
@@ -171,7 +181,7 @@ let pp_heatmap ppf t =
       let ch =
         if j < i then ' '
         else begin
-          let v = t.counts.(Grid.index t.grid ~i ~j) in
+          let v = t.counts.{Grid.index t.grid ~i ~j} in
           if Float.equal v 0.0 then '-'
           else if denom <= 0.0 then '.'
           else begin

@@ -58,6 +58,16 @@ val finish : builder -> t
 (** Freeze into a histogram (version 0).  The builder must not be fed
     afterwards. *)
 
+val of_bigarray : grid:Grid.t -> total:float -> F64.t -> t
+(** Adopt a float64 vector (dense row-major cells, length
+    [Grid.cells grid]) as the histogram's storage without copying —
+    the zero-copy view constructor used when opening a memory-mapped
+    summary store.  [total] must be the sum of the cells (the store
+    records it so opening stays O(1)).  Version starts at 0, so caches
+    keyed on {!version} (e.g. [Catalog] coefficient slots) cannot
+    mistake a freshly mapped histogram for an already-seen one.
+    Raises [Invalid_argument] on a length mismatch. *)
+
 val grid : t -> Grid.t
 val get : t -> i:int -> j:int -> float
 

@@ -149,6 +149,44 @@ let compile doc p =
 
 let compiled_eval c v = c v
 
+(* Document-free compilation for the streaming build: the same lowering
+   as [compile], but over a node's raw parts (tag, attributes, trimmed
+   text, depth) instead of a [Document.t] node id — a SAX close event
+   carries exactly these.  Matches [eval] decision-for-decision, so a
+   streamed build evaluates predicates identically to an in-memory one. *)
+let compile_parts p =
+  let rec go p =
+    match p with
+    | True -> fun ~tag:_ ~attrs:_ ~text:_ ~level:_ -> true
+    | Tag t -> fun ~tag ~attrs:_ ~text:_ ~level:_ -> String.equal tag t
+    | Text_eq s -> fun ~tag:_ ~attrs:_ ~text ~level:_ -> String.equal text s
+    | Text_prefix s ->
+      fun ~tag:_ ~attrs:_ ~text ~level:_ -> starts_with ~prefix:s text
+    | Text_suffix s ->
+      fun ~tag:_ ~attrs:_ ~text ~level:_ -> ends_with ~suffix:s text
+    | Text_contains s ->
+      let m = Substring.make s in
+      fun ~tag:_ ~attrs:_ ~text ~level:_ -> Substring.matches m text
+    | Attr_eq (k, value) -> (
+      fun ~tag:_ ~attrs ~text:_ ~level:_ ->
+        match List.assoc_opt k attrs with
+        | Some x -> String.equal x value
+        | None -> false)
+    | Level_eq l -> fun ~tag:_ ~attrs:_ ~text:_ ~level -> Int.equal level l
+    | And (a, b) ->
+      let fa = go a and fb = go b in
+      fun ~tag ~attrs ~text ~level ->
+        fa ~tag ~attrs ~text ~level && fb ~tag ~attrs ~text ~level
+    | Or (a, b) ->
+      let fa = go a and fb = go b in
+      fun ~tag ~attrs ~text ~level ->
+        fa ~tag ~attrs ~text ~level || fb ~tag ~attrs ~text ~level
+    | Not a ->
+      let fa = go a in
+      fun ~tag ~attrs ~text ~level -> not (fa ~tag ~attrs ~text ~level)
+  in
+  go p
+
 let target doc p =
   match tag_of p with
   | None -> `Any

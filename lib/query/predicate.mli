@@ -62,6 +62,15 @@ type compiled = Document.node -> bool
 val compile : Document.t -> t -> compiled
 val compiled_eval : compiled -> Document.node -> bool
 
+val compile_parts :
+  t -> tag:string -> attrs:(string * string) list -> text:string -> level:int -> bool
+(** Document-free variant of {!compile} for the streaming (SAX) build:
+    evaluates over a node's raw parts — tag name, attribute list, trimmed
+    character data, and depth — exactly as {!eval} would on the
+    materialized node.  Substring patterns still precompute their KMP
+    table at compile time; partially applying the predicate alone
+    performs the lowering. *)
+
 val target : Document.t -> t -> [ `Any | `Tag of int | `Nothing ]
 (** Where the predicate can match: [`Tag id] when it pins an element tag
     that occurs in the document (the interned id), [`Nothing] when the

@@ -1,0 +1,42 @@
+(** SAX-style pull parser: {!Xml_parser}'s grammar as an event stream.
+
+    [next] returns the document's markup one event at a time — [Open]
+    with the tag and attribute list, [Text] runs of character data
+    (entity references decoded, CDATA included verbatim), and [Close] —
+    parsing from a bounded internal buffer, so a document of any size
+    streams in O(element depth + buffer) memory.  This is the input side
+    of the out-of-core summary build ([Summary.build_stream]).
+
+    Equivalence with {!Xml_parser} (property-tested): the event sequence
+    describes the same tree, and concatenating each element's [Text]
+    events and applying {!trim_text} yields that element's [Elem.text].
+    Lexical errors raise {!Xml_parser.Parse_error} with the same message
+    and position as the tree parser. *)
+
+type event =
+  | Open of { tag : string; attrs : (string * string) list }
+  | Text of string
+  | Close
+
+type t
+
+val of_string : string -> t
+
+val of_channel : in_channel -> t
+(** Stream from a channel; the parser reads ahead at most its internal
+    buffer size.  The caller retains ownership of the channel (the parser
+    never closes it). *)
+
+val next : t -> event option
+(** The next event, or [None] once the root element has closed and any
+    trailing prolog material (comments, PIs, whitespace) has been
+    consumed.  Raises {!Xml_parser.Parse_error} on malformed input.
+    Whitespace-only text between markup is reported verbatim; per-element
+    trimming is the consumer's job (see {!trim_text}). *)
+
+val fold : ('a -> event -> 'a) -> 'a -> t -> 'a
+(** Drain the stream through an accumulator. *)
+
+val trim_text : string -> string
+(** Strip leading and trailing ASCII whitespace — exactly the trim
+    {!Xml_parser} applies to each element's accumulated character data. *)

@@ -461,6 +461,129 @@ let test_fused_equals_legacy_datasets () =
         [ `Uniform; `Equidepth ])
     cases
 
+(* --- Streamed (out-of-core) vs in-memory construction ------------------ *)
+
+(* The SAX-fed build never materializes a [Document.t]; serializing the
+   random tree and re-parsing it event-by-event must nevertheless assign
+   the same interval positions and land every count in the same cell, so
+   the summary is [to_string]-bit-identical for both grid kinds.  The
+   indented writer output also exercises whitespace-only text runs. *)
+let prop_stream_equals_build =
+  QCheck.Test.make ~count:60
+    ~name:"streamed build = in-memory build (bit-identical, random docs)"
+    QCheck.(pair (Test_util.elem_arbitrary ~max_nodes:50 ()) (int_bound 7))
+    (fun (elem, cfg) ->
+      let doc = Xmlest.Document.of_elem elem in
+      let grid_size = min 8 (Xmlest.Document.max_pos doc + 1) in
+      let grid_kind = if cfg land 1 = 0 then `Uniform else `Equidepth in
+      let with_levels = cfg land 2 = 0 in
+      let schema_no_overlap p =
+        if cfg land 4 = 0 then None
+        else if Xmlest.Predicate.equal p (tagp "a") then Some false
+        else None
+      in
+      let preds =
+        [
+          tagp "a";
+          tagp "b";
+          Xmlest.Predicate.Or (tagp "c", tagp "d");
+          Xmlest.Predicate.And (tagp "a", Xmlest.Predicate.Level_eq 1);
+          tagp "a";
+          (* duplicate: both paths must dedup identically *)
+          tagp "nosuchtag";
+        ]
+      in
+      let sax = Xmlest.Sax.of_string (Xmlest.Xml_writer.to_string elem) in
+      summaries_identical
+        (Xmlest.Summary.build ~grid_size ~grid_kind ~schema_no_overlap
+           ~with_levels doc preds)
+        (Xmlest.Summary.build_stream ~grid_size ~grid_kind ~schema_no_overlap
+           ~with_levels
+           (fun () -> Xmlest.Sax.next sax)
+           preds))
+
+let test_stream_equals_build_datasets () =
+  (* Real generators carry text and attributes, so the streamed path's
+     close-time text assembly (entity decoding, trimming, runs split by
+     child elements) faces predicates that actually read it. *)
+  let cases =
+    [
+      ("fig1", Test_util.fig1 (), [ tagp "faculty"; tagp "RA"; tagp "TA" ]);
+      ( "staff",
+        Xmlest.Staff_gen.generate (),
+        [
+          tagp "manager";
+          tagp "employee";
+          Xmlest.Predicate.text_prefix ~tag:"name" "A";
+        ] );
+      ( "dblp",
+        Xmlest.Dblp_gen.generate_scaled 0.05,
+        [
+          tagp "article";
+          tagp "author";
+          Xmlest.Predicate.text_prefix ~tag:"cite" "conf";
+          Xmlest.Predicate.any_of
+            (List.init 10 (fun k ->
+                 Xmlest.Predicate.text_eq ~tag:"year" (string_of_int (1990 + k))));
+        ] );
+    ]
+  in
+  List.iter
+    (fun (name, elem, preds) ->
+      let doc = Xmlest.Document.of_elem elem in
+      let xml = Xmlest.Xml_writer.to_string elem in
+      List.iter
+        (fun grid_kind ->
+          let mem = Xmlest.Summary.build ~grid_kind doc preds in
+          let sax = Xmlest.Sax.of_string xml in
+          let str =
+            Xmlest.Summary.build_stream ~grid_kind
+              (fun () -> Xmlest.Sax.next sax)
+              preds
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s %s" name
+               (match grid_kind with `Uniform -> "uniform" | _ -> "equidepth"))
+            true
+            (summaries_identical mem str))
+        [ `Uniform; `Equidepth ])
+    cases
+
+let test_stream_build_file_and_stats () =
+  let elem = Xmlest.Staff_gen.generate () in
+  let doc = Xmlest.Document.of_elem elem in
+  let preds = [ tagp "manager"; tagp "employee"; tagp "name" ] in
+  let path = Filename.temp_file "xmlest_stream" ".xml" in
+  Xmlest.Xml_writer.to_file path elem;
+  let streamed = Xmlest.Summary.build_stream_file path preds in
+  Sys.remove path;
+  Alcotest.(check bool) "file build bit-identical" true
+    (summaries_identical (Xmlest.Summary.build doc preds) streamed);
+  Alcotest.(check bool) "no document attached" true
+    (Xmlest.Summary.document streamed = None);
+  (match Xmlest.Summary.stats streamed with
+  | None -> Alcotest.fail "streamed build should carry stats"
+  | Some st ->
+    Alcotest.(check bool) "streamed path" true
+      (st.Xmlest.Summary.path = `Streamed);
+    check Alcotest.int "uniform: parse + replay" 2 st.Xmlest.Summary.passes;
+    Alcotest.(check bool) "evals counted" true
+      (st.Xmlest.Summary.predicate_evals > 0));
+  let sax = Xmlest.Sax.of_string (Xmlest.Xml_writer.to_string elem) in
+  let eq =
+    Xmlest.Summary.build_stream ~grid_kind:`Equidepth
+      (fun () -> Xmlest.Sax.next sax)
+      preds
+  in
+  (match Xmlest.Summary.stats eq with
+  | None -> Alcotest.fail "streamed build should carry stats"
+  | Some st ->
+    check Alcotest.int "equi-depth: parse + scan + replay" 3
+      st.Xmlest.Summary.passes);
+  Alcotest.check_raises "empty stream rejected"
+    (Failure "Summary.build_stream: empty event stream") (fun () ->
+      ignore (Xmlest.Summary.build_stream (fun () -> None) [ tagp "a" ]))
+
 (* --- Parallel vs sequential construction and estimation --------------- *)
 
 (* The partitioned build must be [to_string]-bit-identical to the
@@ -590,6 +713,165 @@ let test_build_stats () =
     Alcotest.(check bool) "loaded summary has no stats" true
       (Xmlest.Summary.stats loaded = None)
   | Error e -> Alcotest.fail e
+
+(* --- The binary (.xsum) store ------------------------------------------ *)
+
+let with_store s f =
+  let path = Filename.temp_file "xmlest" ".xsum" in
+  Xmlest.Summary.save_store s path;
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let reopened s =
+  with_store s (fun path ->
+      match Xmlest.Summary.load_store path with
+      | Ok s' -> s'
+      | Error e -> Alcotest.failf "store open failed: %s" e)
+
+(* Bit-identity of the mapped store, not mere closeness: the payload holds
+   the exact float bits, totals included, so [to_string] — which prints
+   every non-zero cell, coverage fraction and level count at %.17g — must
+   come back byte-for-byte, and estimates (pure functions of those floats)
+   must be [Float.equal]. *)
+let prop_store_roundtrip_bit_identical =
+  QCheck.Test.make ~count:40
+    ~name:"saved -> mmap-opened store is bit-identical (random docs)"
+    QCheck.(pair (Test_util.elem_arbitrary ~max_nodes:50 ()) (int_bound 7))
+    (fun (elem, cfg) ->
+      let doc = Xmlest.Document.of_elem elem in
+      let grid_size = min 8 (Xmlest.Document.max_pos doc + 1) in
+      let grid_kind = if cfg land 1 = 0 then `Uniform else `Equidepth in
+      let with_levels = cfg land 2 = 0 in
+      let preds =
+        [
+          tagp "a";
+          tagp "b";
+          Xmlest.Predicate.Or (tagp "c", tagp "d");
+          tagp "a";
+          tagp "nosuchtag";
+        ]
+      in
+      let s =
+        Xmlest.Summary.build ~grid_size ~grid_kind ~with_levels doc preds
+      in
+      let s' = reopened s in
+      (* only catalog predicates: a loaded summary cannot build
+         histograms on demand (no document) *)
+      let queries =
+        [ "//a"; "//a//b"; "//b//a"; "//a/b"; "//b[.//a]"; "//nosuchtag//a" ]
+      in
+      String.equal (Xmlest.Summary.to_string s) (Xmlest.Summary.to_string s')
+      && List.for_all
+           (fun q ->
+             Float.equal
+               (Xmlest.Summary.estimate_string s q)
+               (Xmlest.Summary.estimate_string s' q))
+           queries)
+
+let test_store_roundtrip_datasets () =
+  let doc = Xmlest.Document.of_elem (Xmlest.Dblp_gen.generate_scaled 0.05) in
+  let preds =
+    [
+      tagp "article";
+      tagp "author";
+      tagp "title";
+      Xmlest.Predicate.text_prefix ~tag:"cite" "conf";
+    ]
+  in
+  List.iter
+    (fun grid_kind ->
+      let s = Xmlest.Summary.build ~grid_kind doc preds in
+      let s' = reopened s in
+      let kind =
+        match grid_kind with `Uniform -> "uniform" | _ -> "equidepth"
+      in
+      Alcotest.(check bool) (kind ^ " to_string identical") true
+        (String.equal (Xmlest.Summary.to_string s) (Xmlest.Summary.to_string s'));
+      Alcotest.(check bool) (kind ^ " no document") true
+        (Xmlest.Summary.document s' = None);
+      Alcotest.(check bool) (kind ^ " no stats") true
+        (Xmlest.Summary.stats s' = None);
+      List.iter
+        (fun q ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s estimate bit-identical for %s" kind q)
+            true
+            (Float.equal
+               (Xmlest.Summary.estimate_string s q)
+               (Xmlest.Summary.estimate_string s' q)))
+        [
+          "//article//author"; "//article//title"; "//article/title";
+          "//article[.//author][.//title]";
+        ])
+    [ `Uniform; `Equidepth ]
+
+let test_store_open_rejects_garbage () =
+  let path = Filename.temp_file "xmlest" ".xsum" in
+  let oc = open_out_bin path in
+  output_string oc "not a store\n";
+  close_out oc;
+  (match Xmlest.Summary.load_store path with
+  | Ok _ -> Alcotest.fail "garbage accepted"
+  | Error _ -> ());
+  (* truncate a valid store's payload: the header parses, the mapping
+     must be refused *)
+  let _, s = staff_summary () in
+  Xmlest.Summary.save_store s path;
+  let len = (Unix.stat path).Unix.st_size in
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+  Unix.ftruncate fd (len - 16);
+  Unix.close fd;
+  (match Xmlest.Summary.load_store path with
+  | Ok _ -> Alcotest.fail "truncated store accepted"
+  | Error e ->
+    Alcotest.(check bool) "mentions truncation" true
+      (Test_util.contains_substring e "truncated"));
+  (match Xmlest.Summary.load_store (path ^ ".does-not-exist") with
+  | Ok _ -> Alcotest.fail "missing file accepted"
+  | Error _ -> ());
+  Sys.remove path
+
+(* Satellite: a summary reopened from a store must start with a cold
+   coefficient catalog — version counters restart at 0, so stale memoized
+   pH-join arrays from the original summary can never be served. *)
+let test_store_reopen_cold_catalog () =
+  let _, s = staff_summary () in
+  (* warm the original's catalog *)
+  ignore (Xmlest.Summary.estimate_string s "//manager//employee");
+  ignore (Xmlest.Summary.estimate_string s "//department//email");
+  Alcotest.(check bool) "original catalog warmed" true
+    (Xmlest.Hist_catalog.cached_arrays (Xmlest.Summary.hist_catalog s) > 0);
+  let s' = reopened s in
+  let cat' = Xmlest.Summary.hist_catalog s' in
+  check Alcotest.int "no cached arrays carried over" 0
+    (Xmlest.Hist_catalog.cached_arrays cat');
+  let warm = Xmlest.Summary.estimate_string s' "//manager//employee" in
+  let c1 = Xmlest.Hist_catalog.counters cat' in
+  Alcotest.(check bool) "first estimate misses, not hits" true
+    (c1.Xmlest.Hist_catalog.misses > 0 && Int.equal c1.Xmlest.Hist_catalog.hits 0);
+  (* and the freshly computed coefficients are served from cache after *)
+  let again = Xmlest.Summary.estimate_string s' "//manager//employee" in
+  let c2 = Xmlest.Hist_catalog.counters cat' in
+  Alcotest.(check bool) "second estimate hits" true
+    (c2.Xmlest.Hist_catalog.hits > c1.Xmlest.Hist_catalog.hits);
+  check (Alcotest.float 0.0) "same estimate" warm again
+
+let test_streamed_build_saved_to_store () =
+  (* the full out-of-core pipeline: XML file -> streamed build -> .xsum ->
+     mmap-opened summary, bit-identical to the in-memory original *)
+  let elem = Xmlest.Staff_gen.generate () in
+  let doc = Xmlest.Document.of_elem elem in
+  let preds = [ tagp "manager"; tagp "employee"; tagp "name" ] in
+  let xml = Filename.temp_file "xmlest_stream" ".xml" in
+  Xmlest.Xml_writer.to_file xml elem;
+  let streamed = Xmlest.Summary.build_stream_file xml preds in
+  Sys.remove xml;
+  let s' = reopened streamed in
+  Alcotest.(check bool) "pipeline bit-identical" true
+    (String.equal
+       (Xmlest.Summary.to_string (Xmlest.Summary.build doc preds))
+       (Xmlest.Summary.to_string s'))
 
 let test_construction_bench_smoke () =
   let doc = Test_util.fig1_doc () in
@@ -869,6 +1151,11 @@ let () =
             test_parallel_build_datasets;
           Alcotest.test_case "fused = legacy on datasets" `Quick
             test_fused_equals_legacy_datasets;
+          qcheck prop_stream_equals_build;
+          Alcotest.test_case "streamed = in-memory on datasets" `Quick
+            test_stream_equals_build_datasets;
+          Alcotest.test_case "streamed file build and stats" `Quick
+            test_stream_build_file_and_stats;
           Alcotest.test_case "build stats" `Quick test_build_stats;
           Alcotest.test_case "bench smoke" `Quick test_construction_bench_smoke;
         ] );
@@ -880,6 +1167,18 @@ let () =
           Alcotest.test_case "rejects garbage" `Quick test_load_rejects_garbage;
           Alcotest.test_case "unknown predicate raises" `Quick
             test_loaded_summary_unknown_predicate;
+        ] );
+      ( "store",
+        [
+          qcheck prop_store_roundtrip_bit_identical;
+          Alcotest.test_case "dblp roundtrip both grid kinds" `Quick
+            test_store_roundtrip_datasets;
+          Alcotest.test_case "rejects garbage and truncation" `Quick
+            test_store_open_rejects_garbage;
+          Alcotest.test_case "reopen starts a cold catalog" `Quick
+            test_store_reopen_cold_catalog;
+          Alcotest.test_case "streamed build to store pipeline" `Quick
+            test_streamed_build_saved_to_store;
         ] );
       ( "advisor",
         [

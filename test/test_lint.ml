@@ -92,6 +92,25 @@ let test_domains () =
     (lines_of "domains"
        "(* lint: allow domains *)\nlet d = Domain.spawn f\n")
 
+let test_marshal () =
+  check lines "Marshal.to_string" [ 1 ]
+    (lines_of "marshal" "let f x = Marshal.to_string x []\n");
+  check lines "Marshal.from_channel" [ 2 ]
+    (lines_of "marshal" "let f ic =\n  Marshal.from_channel ic\n");
+  check lines "Stdlib-qualified" [ 1 ]
+    (lines_of "marshal" "let f ic = Stdlib.Marshal.from_channel ic\n");
+  check lines "allowed inside the store module" []
+    (lines_of ~file:"lib/core/store.ml" "marshal"
+       "let f x = Marshal.to_string x []\n");
+  check lines "store interface is also exempt" []
+    (lines_of ~file:"lib/core/store.mli" "marshal"
+       "let f x = Marshal.to_string x []\n");
+  check lines "text-format persistence passes" []
+    (lines_of "marshal" "let f oc v = Printf.fprintf oc \"%.17g\\n\" v\n");
+  check lines "suppressible" []
+    (lines_of "marshal"
+       "(* lint: allow marshal *)\nlet f x = Marshal.to_string x []\n")
+
 let test_parse_error () =
   check lines "unparsable implementation" [ 1 ]
     (lines_of "parse-error" "let let = in\n");
@@ -169,7 +188,7 @@ let test_rules_documented () =
       check Alcotest.bool ("documented: " ^ rule) true
         (List.exists (String.equal rule) advertised))
     [ "poly-compare"; "poly-eq"; "float-eq"; "partial"; "catch-all"; "obj";
-      "domains"; "missing-mli"; "parse-error" ]
+      "domains"; "marshal"; "missing-mli"; "parse-error" ]
 
 let () =
   Alcotest.run "lint"
@@ -183,6 +202,7 @@ let () =
           Alcotest.test_case "catch-all" `Quick test_catch_all;
           Alcotest.test_case "obj" `Quick test_obj;
           Alcotest.test_case "domains" `Quick test_domains;
+          Alcotest.test_case "marshal" `Quick test_marshal;
           Alcotest.test_case "parse-error" `Quick test_parse_error;
           Alcotest.test_case "rule table" `Quick test_rules_documented;
         ] );

@@ -29,6 +29,9 @@ let rules =
     ("domains",
      "Domain/Mutex/Condition/Atomic outside lib/parallel/: route \
       concurrency through the pool library");
+    ("marshal",
+     "Marshal outside the summary store (store.ml): use the text formats \
+      or the .xsum container, whose readers validate their input");
     ("missing-mli", "every module under lib/ must have an interface");
     ("parse-error", "file does not parse");
   ]
@@ -173,6 +176,26 @@ let in_parallel_lib file =
   in
   scan (String.split_on_char '/' file)
 
+(* Marshal is confined to the summary store module: everywhere else,
+   persistence goes through the line-based text formats or the .xsum
+   container, whose readers validate their input.  A stray
+   [Marshal.from_channel] elsewhere would reintroduce the
+   crash-on-corrupt-file behavior the text formats were written to
+   eliminate. *)
+let is_marshal_path txt =
+  let rec segments = function
+    | Longident.Lident s -> [ s ]
+    | Longident.Ldot (p, s) -> segments p @ [ s ]
+    | Longident.Lapply (p, _) -> segments p
+  in
+  match segments txt with
+  | "Stdlib" :: "Marshal" :: _ :: _ -> true
+  | "Marshal" :: _ :: _ -> true
+  | _ -> false
+
+let in_store_module file =
+  mem_string (Filename.basename file) [ "store.ml"; "store.mli" ]
+
 (* Is the expression a literal-constant operand that exempts =/<> from
    [poly-eq]?  Constants, nullary constructors ([], None, true, ...) and
    nullary polymorphic variants qualify. *)
@@ -221,6 +244,10 @@ let findings_of_ast ~file ~allows ast_iter_input =
         (Printf.sprintf
            "`%s': domain/concurrency primitives are confined to lib/parallel/"
            path)
+    else if is_marshal_path txt && not (in_store_module file) then
+      report loc "marshal"
+        (Printf.sprintf
+           "`%s': Marshal is confined to the summary store (store.ml)" path)
   in
   let check_eq op fn_loc whole_loc lhs rhs =
     Hashtbl.replace handled (loc_key fn_loc) ();
