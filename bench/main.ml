@@ -831,6 +831,7 @@ let maintenance () =
     ];
   let json_path = "BENCH_maintenance.json" in
   let oc = open_out json_path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) @@ fun () ->
   Printf.fprintf oc
     "{\n\
     \  \"dataset\": \"dblp\",\n\
@@ -854,7 +855,7 @@ let maintenance () =
     speedup identical n_interior report2.Xmlest.Staleness.drift_mass
     report2.Xmlest.Staleness.drift_ratio l1_gap
     (l1_gap <= bound +. 1e-6);
-  close_out oc;
+  flush oc;
   Report.note "machine-readable results written to %s" json_path;
   Report.note
     "incremental maintenance touches only the cells of edited nodes (plus      the ancestor chain for appends); a rebuild re-sweeps every node for      every predicate"
@@ -1261,6 +1262,7 @@ let parallel () =
   in
   let json_path = "BENCH_parallel.json" in
   let oc = open_out json_path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) @@ fun () ->
   Printf.fprintf oc
     "{\n\
     \  \"dataset\": \"dblp\",\n\
@@ -1282,7 +1284,7 @@ let parallel () =
     (b1 /. time_at build_rows 4)
     (json_rows est_rows)
     (e1 /. time_at est_rows 4);
-  close_out oc;
+  flush oc;
   Report.note "machine-readable results written to %s" json_path;
   Report.note
     "this machine reports %d recommended domain%s; with a single core the \
@@ -1461,6 +1463,7 @@ let storage () =
     ];
   let json_path = "BENCH_storage.json" in
   let oc = open_out json_path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) @@ fun () ->
   Printf.fprintf oc
     "{\n\
     \  \"dataset\": \"dblp\",\n\
@@ -1487,7 +1490,7 @@ let storage () =
     scale smoke nodes (List.length preds) t_build_memory t_build_stream
     mem_in_memory mem_streamed (file_bytes text_path) (file_bytes xsum_path)
     t_open_text t_open_store open_speedup est_per_sec;
-  close_out oc;
+  flush oc;
   Report.note "machine-readable results written to %s" json_path;
   Report.note
     "the streamed build parses SAX events and spills per-node state to a \

@@ -493,11 +493,10 @@ let policy_conv =
 (* One update per line; blank lines and '#' comments are skipped. *)
 let read_updates path =
   let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
   let rec go lineno acc =
     match input_line ic with
-    | exception End_of_file ->
-      close_in ic;
-      List.rev acc
+    | exception End_of_file -> List.rev acc
     | line ->
       let t = String.trim line in
       if t = "" || t.[0] = '#' then go (lineno + 1) acc

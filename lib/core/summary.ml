@@ -390,6 +390,7 @@ let build_fused ?grid:grid_override ?(grid_size = 10) ?(grid_kind = `Uniform)
       (Grid.create ~size:grid_size ~max_pos:(Document.max_pos doc), None)
     | None, `Equidepth ->
       let per_chunk =
+        (* lint: allow domain-escape — doc and chunk table are read-only shares *)
         Pool.run ~domains ~tasks:ntasks (fun k ->
             let { Chunking.lo; hi } = chunks.(k) in
             let disp = Predicate.dispatch doc upreds in
@@ -446,6 +447,7 @@ let build_fused ?grid:grid_override ?(grid_size = 10) ?(grid_kind = `Uniform)
       [| sweep_range ~grid ~p ~schema ~with_levels ~upreds ~match_arrays doc
            ~lo:0 ~hi:0 |]
     else
+      (* lint: allow domain-escape — read-only shares; builders are chunk-local *)
       Pool.run ~domains ~tasks:ntasks (fun k ->
           let { Chunking.lo; hi } = chunks.(k) in
           sweep_range ~grid ~p ~schema ~with_levels ~upreds ~match_arrays doc
@@ -1143,6 +1145,7 @@ let estimate_batch ?options ?(domains = 1) t patterns =
     let ntasks = Array.length chunks in
     let views = Array.init ntasks (fun _ -> scratch_view t) in
     let per_chunk =
+      (* lint: allow domain-escape — summary is read-only; views are per-task *)
       Pool.run ~domains ~tasks:ntasks (fun k ->
           let { Chunking.lo; hi } = chunks.(k) in
           let hcat, lph = views.(k) in
@@ -1420,15 +1423,19 @@ let of_string input =
 
 let save t path =
   let oc = open_out_bin path in
-  output_string oc (to_string t);
-  close_out oc
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (to_string t);
+      (* flush inside the body so write errors surface as the primary
+         exception, with the descriptor still released by the finally *)
+      flush oc)
 
 let load path =
   let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let contents = really_input_string ic n in
-  close_in ic;
-  of_string contents
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
 
 (* --- The binary (.xsum) store ------------------------------------------ *)
 
@@ -1501,6 +1508,7 @@ let save_store t path =
   Store.write path ~grid:t.grid ~population:(hist_view t.grid t.pop) ~blocks
 
 let load_store path =
+  (* lint: allow resource-leak — Store.open_in closes its fd after mmap *)
   match Store.open_in path with
   | Error e -> Error e
   | Ok s -> (

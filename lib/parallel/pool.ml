@@ -31,6 +31,7 @@ let run ~domains ~tasks f =
                 continue := false)
         done
       in
+      (* lint: allow domain-escape — slot-per-task array, one writer per slot *)
       let spawned = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
       worker ();
       Array.iter Domain.join spawned;

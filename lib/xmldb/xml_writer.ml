@@ -71,5 +71,10 @@ let to_string ?indent e =
 
 let to_file ?indent path e =
   let oc = open_out_bin path in
-  output_string oc (to_string ?indent e);
-  close_out oc
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (to_string ?indent e);
+      (* flush inside the body so write errors (ENOSPC, ...) surface as
+         the primary exception, not from the finally *)
+      flush oc)

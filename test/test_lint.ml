@@ -111,6 +111,31 @@ let test_marshal () =
     (lines_of "marshal"
        "(* lint: allow marshal *)\nlet f x = Marshal.to_string x []\n")
 
+let test_mutable_global () =
+  check lines "top-level ref" [ 1 ]
+    (lines_of "mutable-global" "let count = ref 0\n");
+  check lines "top-level Hashtbl" [ 1 ]
+    (lines_of "mutable-global" "let cache = Hashtbl.create 16\n");
+  check lines "Array.make / Buffer / Atomic" [ 1; 2; 3 ]
+    (lines_of "mutable-global"
+       "let slots = Array.make 4 0\n\
+        let buf = Buffer.create 64\n\
+        let gen = Atomic.make 0\n");
+  check lines "Stdlib-qualified" [ 1 ]
+    (lines_of "mutable-global" "let r = Stdlib.ref 0\n");
+  check lines "inside a submodule" [ 2 ]
+    (lines_of "mutable-global"
+       "module Cache = struct\n  let tbl = Hashtbl.create 3\nend\n");
+  check lines "under a type constraint" [ 1 ]
+    (lines_of "mutable-global" "let r = (ref 0 : int ref)\n");
+  check lines "function-local mutable state passes" []
+    (lines_of "mutable-global" "let f () =\n  let c = ref 0 in\n  incr c; !c\n");
+  check lines "constant array literals pass" []
+    (lines_of "mutable-global" "let words = [| \"a\"; \"b\" |]\n");
+  check lines "suppressible" []
+    (lines_of "mutable-global"
+       "(* lint: allow mutable-global *)\nlet count = ref 0\n")
+
 let test_parse_error () =
   check lines "unparsable implementation" [ 1 ]
     (lines_of "parse-error" "let let = in\n");
@@ -180,6 +205,30 @@ let test_scratch_tree () =
   Sys.rmdir libdir;
   Sys.rmdir dir
 
+let test_json () =
+  let findings =
+    Lint.lint_source ~file:"lib/scratch/code.ml" "let f l = List.hd l\n"
+  in
+  let rendered = Format.asprintf "%a" Lint.pp_findings_json findings in
+  check Alcotest.bool "is a JSON array" true
+    (String.starts_with ~prefix:"[" (String.trim rendered)
+    && String.ends_with ~suffix:"]" (String.trim rendered));
+  List.iter
+    (fun needle ->
+      check Alcotest.bool ("mentions " ^ needle) true
+        (Test_util.contains_substring rendered needle))
+    [
+      "\"file\": \"lib/scratch/code.ml\"";
+      "\"line\": 1";
+      "\"rule\": \"partial\"";
+    ];
+  check Alcotest.string "no findings is the empty array" "[]"
+    (String.trim (Format.asprintf "%a" Lint.pp_findings_json []));
+  let quoted = { Lint.file = "a.ml"; line = 1; rule = "r"; message = {|say "hi"\now|} } in
+  let rendered = Format.asprintf "%a" Lint.pp_findings_json [ quoted ] in
+  check Alcotest.bool "escapes quotes and backslashes" true
+    (Test_util.contains_substring rendered {|say \"hi\"\\now|})
+
 let test_rules_documented () =
   (* Every rule a test exercises is in the advertised rule table. *)
   let advertised = List.map fst Lint.rules in
@@ -188,7 +237,7 @@ let test_rules_documented () =
       check Alcotest.bool ("documented: " ^ rule) true
         (List.exists (String.equal rule) advertised))
     [ "poly-compare"; "poly-eq"; "float-eq"; "partial"; "catch-all"; "obj";
-      "domains"; "marshal"; "missing-mli"; "parse-error" ]
+      "domains"; "marshal"; "mutable-global"; "missing-mli"; "parse-error" ]
 
 let () =
   Alcotest.run "lint"
@@ -203,7 +252,9 @@ let () =
           Alcotest.test_case "obj" `Quick test_obj;
           Alcotest.test_case "domains" `Quick test_domains;
           Alcotest.test_case "marshal" `Quick test_marshal;
+          Alcotest.test_case "mutable-global" `Quick test_mutable_global;
           Alcotest.test_case "parse-error" `Quick test_parse_error;
+          Alcotest.test_case "json" `Quick test_json;
           Alcotest.test_case "rule table" `Quick test_rules_documented;
         ] );
       ( "suppression",

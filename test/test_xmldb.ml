@@ -288,6 +288,31 @@ let test_file_roundtrip () =
       (Format.asprintf "%a" Xmlest.Xml_parser.pp_error err));
   Sys.remove path
 
+(* Entry count of /proc/self/fd; any channel leaked by a failing read or
+   write shows up as a higher count afterwards. *)
+let open_fds () = Array.length (Sys.readdir "/proc/self/fd")
+
+let test_io_failures_close_fds () =
+  if not (Sys.file_exists "/proc/self/fd") then ()
+  else begin
+    let before = open_fds () in
+    (* The parser opens a directory fine on Linux; the subsequent read
+       raises Sys_error, which must not leak the channel. *)
+    let dir = Filename.temp_dir "xmlest" "" in
+    (match Xmlest.Xml_parser.parse_file dir with
+    | exception Sys_error _ -> ()
+    | Ok _ | Error _ -> Alcotest.fail "parse_file on a directory should raise");
+    Sys.rmdir dir;
+    (* The writer flushes inside the protected body, so ENOSPC surfaces
+       as the primary exception and the channel still closes. *)
+    (if Sys.file_exists "/dev/full" then
+       match Xmlest.Xml_writer.to_file "/dev/full" (Test_util.fig1 ()) with
+       | exception Sys_error _ -> ()
+       | () -> Alcotest.fail "to_file on /dev/full should raise");
+    check Alcotest.int "no fd leaked across failing reads and writes" before
+      (open_fds ())
+  end
+
 let test_document_roots () =
   let single = Test_util.fig1_doc () in
   Alcotest.(check bool) "of_elem: no dummy" false (Xmlest.Document.has_dummy_root single);
@@ -467,6 +492,8 @@ let () =
             test_deep_tree_no_stack_overflow;
           qcheck prop_labeling;
           Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+          Alcotest.test_case "failing io closes fds" `Quick
+            test_io_failures_close_fds;
           Alcotest.test_case "document roots" `Quick test_document_roots;
           Alcotest.test_case "writer indentation" `Quick test_writer_indentation;
         ] );

@@ -1,0 +1,29 @@
+(* xmlest-analyze: run the Typedtree passes (tools/analyze) over the
+   .cmt files found under the given paths; print one "file:line rule
+   message" line per finding (or a JSON array with --json) and exit
+   nonzero when any finding survives suppression.  Wired into the build
+   as `dune build @analyze`, which @runtest depends on. *)
+
+module Lint = Xmlest_lint.Lint
+module Analyze = Xmlest_analyze.Analyze
+
+let () =
+  let args =
+    match Array.to_list Sys.argv with [] -> [] | _ :: rest -> rest
+  in
+  let json, paths = List.partition (String.equal "--json") args in
+  match paths with
+  | [] ->
+    Format.eprintf "usage: analyze_main [--json] <file-or-dir>...@.";
+    exit 2
+  | paths ->
+    let findings = Analyze.analyze_paths paths in
+    if not (List.is_empty json) then
+      Format.printf "%a@." Lint.pp_findings_json findings
+    else
+      List.iter (fun f -> Format.printf "%a@." Analyze.pp_finding f) findings;
+    if not (List.is_empty findings) then begin
+      Format.eprintf "analyze: %d finding%s@." (List.length findings)
+        (if List.compare_length_with findings 1 = 0 then "" else "s");
+      exit 1
+    end

@@ -32,12 +32,50 @@ let rules =
     ("marshal",
      "Marshal outside the summary store (store.ml): use the text formats \
       or the .xsum container, whose readers validate their input");
+    ("mutable-global",
+     "top-level ref/Hashtbl.create/Array.make/... binding: global mutable \
+      state voids the parallel bit-identity argument; pass state \
+      explicitly or allowlist a deliberate memo table");
     ("missing-mli", "every module under lib/ must have an interface");
     ("parse-error", "file does not parse");
   ]
 
 let pp_finding ppf f =
   Format.fprintf ppf "%s:%d %s %s" f.file f.line f.rule f.message
+
+(* Machine-readable findings: one JSON array of {file, line, rule,
+   message} objects, shared verbatim by tools/lint and tools/analyze so
+   CI consumes one format. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let pp_finding_json ppf f =
+  Format.fprintf ppf
+    {|{ "file": "%s", "line": %d, "rule": "%s", "message": "%s" }|}
+    (json_escape f.file) f.line (json_escape f.rule) (json_escape f.message)
+
+let pp_findings_json ppf findings =
+  match findings with
+  | [] -> Format.pp_print_string ppf "[]"
+  | findings ->
+    Format.fprintf ppf "[@\n  %a@\n]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@\n  ")
+         pp_finding_json)
+      findings
 
 (* --- Suppression comments --------------------------------------------- *)
 
@@ -213,6 +251,70 @@ let is_float_literal e =
 
 let line_of loc = loc.Location.loc_start.Lexing.pos_lnum
 
+(* --- mutable-global ---------------------------------------------------- *)
+
+(* Top-level bindings whose right-hand side constructs mutable state.
+   Syntactic, like every rule here: the creation functions below are the
+   decidable cases — a record literal's mutability needs types (the
+   typed analyzer's domain-escape pass covers those when they cross a
+   domain), and array {e literals} are exempted as the idiomatic
+   constant lookup table (datagen's word pools).  Walks module bindings
+   and functor bodies so state hidden in a submodule still fires. *)
+let mutable_ctor_fns =
+  [ "ref"; "Hashtbl.create"; "Array.make"; "Array.init"; "Array.create_float";
+    "Bytes.create"; "Bytes.make"; "Bytes.of_string"; "Buffer.create";
+    "Atomic.make"; "Queue.create"; "Stack.create" ]
+
+let strip_stdlib p =
+  let prefix = "Stdlib." in
+  let n = String.length prefix in
+  if String.length p > n && String.equal (String.sub p 0 n) prefix then
+    String.sub p n (String.length p - n)
+  else p
+
+let rec top_mutable_ctor e =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_constraint (e, _) -> top_mutable_ctor e
+  | Parsetree.Pexp_apply
+      ({ pexp_desc = Parsetree.Pexp_ident { txt; _ }; _ }, _ :: _) ->
+    let p = strip_stdlib (path_string txt) in
+    if mem_string p mutable_ctor_fns then Some p else None
+  | _ -> None
+
+let mutable_globals ~report str =
+  let check_bindings vbs =
+    List.iter
+      (fun vb ->
+        match top_mutable_ctor vb.Parsetree.pvb_expr with
+        | Some p ->
+          report vb.Parsetree.pvb_loc "mutable-global"
+            (Printf.sprintf
+               "top-level `%s' creates global mutable state (pass it \
+                explicitly, or allowlist a deliberate memo table)"
+               p)
+        | None -> ())
+      vbs
+  in
+  let rec walk_module me =
+    match me.Parsetree.pmod_desc with
+    | Parsetree.Pmod_structure s -> walk s
+    | Parsetree.Pmod_constraint (me, _) -> walk_module me
+    | Parsetree.Pmod_functor (_, me) -> walk_module me
+    | _ -> ()
+  and walk str =
+    List.iter
+      (fun item ->
+        match item.Parsetree.pstr_desc with
+        | Parsetree.Pstr_value (_, vbs) -> check_bindings vbs
+        | Parsetree.Pstr_module { pmb_expr; _ } -> walk_module pmb_expr
+        | Parsetree.Pstr_recmodule mbs ->
+          List.iter (fun mb -> walk_module mb.Parsetree.pmb_expr) mbs
+        | Parsetree.Pstr_include { pincl_mod; _ } -> walk_module pincl_mod
+        | _ -> ())
+      str
+  in
+  walk str
+
 let findings_of_ast ~file ~allows ast_iter_input =
   let out = ref [] in
   let report loc rule message =
@@ -295,7 +397,9 @@ let findings_of_ast ~file ~allows ast_iter_input =
   in
   let iter = { default_iterator with expr } in
   (match ast_iter_input with
-  | `Structure str -> iter.structure iter str
+  | `Structure str ->
+    iter.structure iter str;
+    mutable_globals ~report str
   | `Signature sg -> iter.signature iter sg);
   !out
 

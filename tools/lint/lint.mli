@@ -13,10 +13,17 @@
     - [catch-all]: no [try ... with _ ->] and no [exception _ ->] match
       case — handlers must name the exceptions they expect.
     - [obj]: no use of the [Obj] module.
+    - [mutable-global]: no top-level binding that constructs mutable
+      state ([ref], [Hashtbl.create], [Array.make], [Buffer.create],
+      ...) — global mutable state silently voids the parallel
+      bit-identity argument.  Array literals are exempt (constant lookup
+      tables); deliberate memo tables are allowlisted.
     - [missing-mli]: every [.ml] under a [lib] directory needs an [.mli].
 
     Findings can be suppressed with a [(* lint: allow <rule> ... *)]
-    comment on the same line or the line directly above. *)
+    comment on the same line or the line directly above.  The Typedtree
+    analyzer (tools/analyze) shares this module's finding record,
+    suppression scanner and output formats. *)
 
 type finding = {
   file : string;
@@ -45,3 +52,21 @@ val lint_paths : string list -> finding list
 
 val pp_finding : Format.formatter -> finding -> unit
 (** Renders ["file:line rule message"] — the executable's output format. *)
+
+val pp_finding_json : Format.formatter -> finding -> unit
+(** One finding as a JSON object with [file]/[line]/[rule]/[message]
+    fields, strings escaped. *)
+
+val pp_findings_json : Format.formatter -> finding list -> unit
+(** A findings list as a JSON array — the [--json] output mode shared by
+    the linter and the analyzer. *)
+
+val allow_lines : string -> (int * string) list
+(** Scan source text for [(* lint: allow <rule> ... *)] comments
+    (comment- and string-literal-aware, as the real lexer is) and return
+    [(start_line, rule)] pairs. *)
+
+val suppressed : (int * string) list -> string -> int -> bool
+(** [suppressed allows rule line]: is a finding for [rule] at [line]
+    covered by an allow comment starting on that line or the line
+    directly above? *)

@@ -1,20 +1,27 @@
 (* xmlest-lint: lint the given files/directories against the project rule
-   set; print one "file:line rule message" line per finding and exit
-   nonzero when any finding survives suppression.  Wired into the build as
-   `dune build @lint`. *)
+   set; print one "file:line rule message" line per finding (or a JSON
+   array with --json) and exit nonzero when any finding survives
+   suppression.  Wired into the build as `dune build @lint`. *)
 
 module Lint = Xmlest_lint.Lint
 
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: (_ :: _ as paths) ->
+  let args =
+    match Array.to_list Sys.argv with [] -> [] | _ :: rest -> rest
+  in
+  let json, paths = List.partition (String.equal "--json") args in
+  match paths with
+  | _ :: _ ->
     let findings = Lint.lint_paths paths in
-    List.iter (fun f -> Format.printf "%a@." Lint.pp_finding f) findings;
+    if not (List.is_empty json) then
+      Format.printf "%a@." Lint.pp_findings_json findings
+    else
+      List.iter (fun f -> Format.printf "%a@." Lint.pp_finding f) findings;
     if not (List.is_empty findings) then begin
       Format.eprintf "lint: %d finding%s@." (List.length findings)
         (if List.compare_length_with findings 1 = 0 then "" else "s");
       exit 1
     end
-  | _ ->
-    Format.eprintf "usage: lint_main <file-or-dir>...@.";
+  | [] ->
+    Format.eprintf "usage: lint_main [--json] <file-or-dir>...@.";
     exit 2
